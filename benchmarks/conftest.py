@@ -1,0 +1,87 @@
+"""Shared benchmark fixtures.
+
+``corpus_results`` runs the full quality experiment once per session — the
+six-genre corpus through the dcSR server pipeline, the NAS/NEMO big model,
+and all four playback methods — and is shared by the Figure 1(c), 9, 10 and
+training-cost benchmarks.  This is the expensive part (several minutes of
+actual numpy training); set ``REPRO_BENCH_FAST=1`` for a reduced run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    corpus_spec,
+    make_corpus,
+    quality_big_train_config,
+    quality_server_config,
+)
+from repro.core import (
+    BigModelBaseline,
+    DcsrClient,
+    DcsrPackage,
+    PlaybackResult,
+    build_package,
+    play_low,
+    play_nas,
+    play_nemo,
+    train_big_model,
+)
+from repro.sr import QUALITY_BIG_CONFIG
+from repro.video import VideoClip
+
+
+@dataclass
+class VideoExperiment:
+    """Everything measured for one corpus video."""
+
+    clip: VideoClip
+    package: DcsrPackage
+    big: BigModelBaseline
+    results: dict[str, PlaybackResult] = field(default_factory=dict)
+    micro_train_seconds: float = 0.0
+    big_train_seconds: float = 0.0
+
+    def mean_psnr(self, method: str) -> float:
+        return self.results[method].mean_psnr
+
+    def mean_ssim(self, method: str) -> float:
+        return self.results[method].mean_ssim
+
+
+@pytest.fixture(scope="session")
+def corpus_results() -> list[VideoExperiment]:
+    spec = corpus_spec()
+    server_config = quality_server_config(spec)
+    big_train = quality_big_train_config(spec)
+
+    experiments: list[VideoExperiment] = []
+    for clip in make_corpus(spec):
+        t0 = time.time()
+        package = build_package(clip, server_config)
+        micro_seconds = time.time() - t0  # includes VAE + clustering
+
+        t0 = time.time()
+        big = train_big_model(package, clip.frames, QUALITY_BIG_CONFIG,
+                              big_train)
+        big_seconds = time.time() - t0
+
+        experiment = VideoExperiment(clip=clip, package=package, big=big,
+                                     micro_train_seconds=micro_seconds,
+                                     big_train_seconds=big_seconds)
+        experiment.results["dcSR"] = DcsrClient(package).play(clip.frames)
+        experiment.results["NAS"] = play_nas(package, big, clip.frames)
+        experiment.results["NEMO"] = play_nemo(package, big, clip.frames)
+        experiment.results["LOW"] = play_low(package, clip.frames)
+        experiments.append(experiment)
+    return experiments
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,52 @@
+"""Figure 11 — training loss vs training-set size (Appendix A.1).
+
+A fixed-architecture micro model (8 filters / 8 ResBlocks, per the paper)
+is initialised with the *same* weights and trained for the same number of
+steps on growing subsets of a video's frames.  The final training loss
+rises with the data size: fewer frames are easier to memorise — the
+foundation of dcSR's per-cluster micro models.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.bench import print_series, save_results
+from repro.sr import EDSR, EdsrConfig, SrTrainConfig, train_sr
+from repro.video import make_video
+
+DATA_SIZES = (10, 50, 100, 150)
+
+
+def test_fig11_training_loss_vs_data_size(benchmark):
+    def experiment():
+        clip = make_video("fig11", "documentary", seed=11, size=(48, 64),
+                          duration_seconds=15.0, fps=10, n_distinct_scenes=5)
+        rng = np.random.default_rng(0)
+        noise = rng.normal(0, 0.06, size=clip.frames.shape).astype(np.float32)
+        block = 4
+        noise = noise[:, ::block, ::block]
+        noise = np.repeat(np.repeat(noise, block, axis=1), block, axis=2)
+        degraded = np.clip(clip.frames + noise, 0, 1)
+
+        config = SrTrainConfig(epochs=15, steps_per_epoch=12, batch_size=8,
+                               patch_size=16, learning_rate=5e-3,
+                               lr_decay_epochs=6, loss="mse", seed=0)
+        losses = {}
+        for size in DATA_SIZES:
+            # Identical initial weights for every data size (paper: "we
+            # initialized a micro model with the same weight").
+            model = EDSR(EdsrConfig(n_resblocks=8, n_filters=8), seed=123)
+            history = train_sr(model, degraded[:size], clip.frames[:size],
+                               config)
+            losses[size] = history.final_loss
+        return losses
+
+    losses = run_once(benchmark, experiment)
+    print_series("Figure 11: final training loss (MSE) vs data size",
+                 list(DATA_SIZES), {"loss": [losses[s] for s in DATA_SIZES]})
+    save_results("fig11", {str(k): v for k, v in losses.items()})
+
+    # The paper's monotone trend: more data to memorise -> higher loss.
+    values = [losses[s] for s in DATA_SIZES]
+    assert values[0] < values[-1]
+    assert all(a <= b * 1.15 for a, b in zip(values[:-1], values[1:]))

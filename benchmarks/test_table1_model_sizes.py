@@ -1,0 +1,33 @@
+"""Table 1 — micro-model size over the (n_filters, n_resblocks) grid.
+
+Sizes are computed from real instantiated models (float32 parameters plus
+container overhead), so the grid's structure — linear in ResBlocks,
+quadratic in filters — is measured, not assumed.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import print_table, save_results
+from repro.sr import TABLE1_FILTERS, TABLE1_RESBLOCKS, model_size_table
+
+
+def test_table1_model_size_grid(benchmark):
+    table = run_once(benchmark, model_size_table)
+
+    rows = []
+    for rb in TABLE1_RESBLOCKS:
+        rows.append([rb] + [round(table[(f, rb)], 3) for f in TABLE1_FILTERS])
+    print_table("Table 1: model size (MB); rows = n_resblocks, cols = n_filters",
+                ["nRB \\ nf"] + [str(f) for f in TABLE1_FILTERS], rows)
+    save_results("table1", {f"{f}x{rb}": table[(f, rb)]
+                            for (f, rb) in table})
+
+    # Structural checks mirroring the paper's table:
+    # monotone along both axes ...
+    for f in TABLE1_FILTERS:
+        sizes = [table[(f, rb)] for rb in TABLE1_RESBLOCKS]
+        assert all(a < b for a, b in zip(sizes[:-1], sizes[1:]))
+    # ... roughly linear in ResBlocks at fixed filters ...
+    ratio = table[(16, 32)] / table[(16, 8)]
+    assert 2.5 < ratio < 4.5
+    # ... and the largest config is tens of times the smallest.
+    assert table[(20, 64)] / table[(4, 4)] > 20

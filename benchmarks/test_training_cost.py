@@ -1,0 +1,55 @@
+"""Section 4 (text) — training cost: micro models train ~3x cheaper.
+
+Two views of the same claim:
+
+- measured wall-clock: the whole dcSR server pipeline (VAE + clustering +
+  all micro models) vs training the single NAS/NEMO big model;
+- analytic FLOPs: forward/backward cost per step from the architectures.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.bench import print_table, save_results
+from repro.bench.workloads import corpus_spec, quality_server_config
+from repro.sr import EDSR, QUALITY_BIG_CONFIG, training_flops_estimate
+
+
+def test_training_cost_ratio(benchmark, corpus_results):
+    def experiment():
+        rows = []
+        for exp in corpus_results:
+            rows.append((exp.clip.name, exp.micro_train_seconds,
+                         exp.big_train_seconds,
+                         exp.big_train_seconds / exp.micro_train_seconds))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("Training cost: dcSR server pipeline vs big model",
+                ["video", "dcSR (s)", "big (s)", "big / dcSR"], rows)
+
+    config = quality_server_config(corpus_spec())
+    micro_flops = training_flops_estimate(EDSR(config.micro_config),
+                                          config.sr_train)
+    big_flops = training_flops_estimate(EDSR(QUALITY_BIG_CONFIG),
+                                        config.sr_train)
+    k_typical = float(np.mean([exp.package.n_models
+                               for exp in corpus_results]))
+    analytic = big_flops / (k_typical * micro_flops)
+    print_table("Analytic training FLOPs",
+                ["quantity", "value"],
+                [["micro model FLOPs/run", micro_flops],
+                 ["big model FLOPs/run", big_flops],
+                 ["mean K", k_typical],
+                 ["big / (K * micro)", analytic]])
+    save_results("training_cost", {
+        "wallclock": [(n, m, b, r) for n, m, b, r in rows],
+        "analytic_ratio": analytic,
+    })
+
+    # The paper reports ~3x cheaper training for dcSR.  Wall-clock includes
+    # the VAE and clustering inside the dcSR column, so require a saving on
+    # average rather than the exact factor.
+    mean_ratio = float(np.mean([r for *_rest, r in rows]))
+    assert mean_ratio > 1.2
+    assert analytic > 1.5

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""dcSR-aware adaptive bitrate streaming (the paper's discussion section).
+
+Builds a real bitrate ladder with the codec, trains dcSR micro models for
+the lowest rung, measures the *enhanced* quality per segment, and compares
+a classic throughput-based ABR against a dcSR-aware policy that (a) budgets
+micro-model downloads and (b) credits the enhanced quality — delivering the
+same perceived quality from a cheaper rung.
+
+    python examples/abr_streaming.py
+"""
+
+import numpy as np
+
+from repro.abr import (
+    DcsrAwareAbr,
+    ThroughputAbr,
+    build_ladder,
+    qoe_score,
+    random_walk_trace,
+    simulate_session,
+)
+from repro.core import DcsrClient, ServerConfig, build_package, simulate_caching
+from repro.features import VaeTrainConfig
+from repro.sr import EdsrConfig, SrTrainConfig
+from repro.video import detect_segments, make_video
+from repro.video.codec import CodecConfig
+
+
+def main() -> None:
+    clip = make_video("abr-demo", genre="documentary", seed=33, size=(48, 64),
+                      duration_seconds=16.0, fps=10, n_distinct_scenes=3)
+    segments = detect_segments(clip.frames, max_length=20)
+
+    # A three-rung ladder measured with the real codec.
+    crfs = [30, 42, 51]
+    ladder = build_ladder(clip, segments, crfs=crfs)
+    print("ladder (mean PSNR / total KiB):")
+    for level in ladder.levels:
+        print(f"  CRF {level.crf:2d}: {level.mean_quality:6.2f} dB / "
+              f"{level.total_bits / 8 / 1024:6.1f} KiB")
+
+    # dcSR package for the lowest rung; measure its enhanced quality.
+    config = ServerConfig(
+        codec=CodecConfig(crf=crfs[-1]), max_segment_len=20,
+        vae_train=VaeTrainConfig(epochs=10, batch_size=4),
+        sr_train=SrTrainConfig(epochs=20, steps_per_epoch=10, batch_size=8,
+                               patch_size=16, learning_rate=5e-3,
+                               lr_decay_epochs=8),
+        micro_config=EdsrConfig(n_resblocks=2, n_filters=8),
+    )
+    package = build_package(clip, config)
+    played = DcsrClient(package).play(clip.frames)
+
+    enhanced = np.array([level.segment_quality for level in ladder.levels],
+                        dtype=np.float64)
+    for i, seg in enumerate(segments):
+        vals = [p for p in played.psnr_per_frame[seg.start:seg.end]
+                if np.isfinite(p)]
+        enhanced[-1, i] = float(np.mean(vals))
+    uplift = enhanced[-1].mean() - ladder.levels[-1].mean_quality
+    print(f"\ndcSR uplift on the CRF-{crfs[-1]} rung: {uplift:+.2f} dB "
+          f"({package.n_models} micro models, "
+          f"{package.manifest.total_model_bytes / 1024:.0f} KiB)")
+
+    # Model bytes charged at first use of each label (Algorithm 1 dry run).
+    labels = package.manifest.label_sequence()
+    flags, _ = simulate_caching(labels)
+    model_bits = [package.manifest.model_sizes[lab] * 8 if flag else 0.0
+                  for lab, flag in zip(labels, flags)]
+
+    trace = random_walk_trace(mean_bps=120_000, duration_s=120.0, seed=4)
+    # Viewer-acceptable target: the middle rung's quality.  The dcSR-aware
+    # policy may satisfy it from a cheaper rung thanks to the SR uplift.
+    target = float(enhanced[1].mean()) - 0.5
+
+    plain = simulate_session(ladder, ThroughputAbr(), trace)
+    aware = simulate_session(
+        ladder,
+        DcsrAwareAbr(enhanced_quality=enhanced,
+                     model_bits_by_segment=model_bits,
+                     target_quality_db=target),
+        trace, quality_table=enhanced)
+
+    print(f"\ntarget perceived quality: {target:.2f} dB")
+    print(f"{'policy':<12} {'quality dB':>10} {'rebuf s':>8} "
+          f"{'KiB moved':>10} {'QoE':>7}")
+    for name, res in [("throughput", plain), ("dcSR-aware", aware)]:
+        print(f"{name:<12} {res.mean_quality:>10.2f} "
+              f"{res.rebuffer_seconds:>8.2f} {res.total_bits / 8 / 1024:>10.1f} "
+              f"{qoe_score(res):>7.2f}")
+    saving = 1.0 - aware.total_bits / plain.total_bits
+    print(f"\nboth policies clear the {target:.1f} dB target; the plain "
+          f"policy overshoots it by\nbuying the top rung, while the "
+          f"dcSR-aware policy moved {saving:.0%} fewer bytes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Compare every playback method on one video.
+
+Runs the full server pipeline, trains the NAS/NEMO big model with the same
+step budget, and plays the video five ways:
+
+- LOW            — the decoded CRF-51 video, untouched
+- NAS            — big model, SR on every frame
+- NEMO           — big model, I frames only (the paper's simplification)
+- NEMO-adaptive  — big model, greedy per-segment anchor selection
+- dcSR           — per-cluster micro models through the cached decoder hook
+
+Prints quality, bytes moved, SR inference counts, and startup delay.
+Takes a few minutes (real training).
+
+    python examples/baseline_comparison.py
+"""
+
+import time
+
+from repro.core import (
+    DcsrClient,
+    ServerConfig,
+    build_package,
+    play_low,
+    play_nas,
+    play_nemo,
+    play_nemo_adaptive,
+    startup_delay,
+    train_big_model,
+)
+from repro.features import VaeTrainConfig
+from repro.sr import EdsrConfig, QUALITY_BIG_CONFIG, SrTrainConfig
+from repro.video import make_video
+from repro.video.codec import CodecConfig
+
+
+def main() -> None:
+    clip = make_video("comparison", genre="music", seed=7, size=(48, 64),
+                      duration_seconds=10.0, fps=10, n_distinct_scenes=3)
+    train = SrTrainConfig(epochs=25, steps_per_epoch=12, batch_size=8,
+                          patch_size=16, learning_rate=5e-3,
+                          lr_decay_epochs=10)
+    config = ServerConfig(codec=CodecConfig(crf=51), max_segment_len=20,
+                          vae_train=VaeTrainConfig(epochs=12, batch_size=4),
+                          sr_train=train,
+                          micro_config=EdsrConfig(n_resblocks=2, n_filters=8))
+
+    t0 = time.time()
+    package = build_package(clip, config)
+    print(f"server pipeline: {time.time() - t0:.0f}s "
+          f"(K = {package.selection.k}, in-loop = "
+          f"{package.manifest.enhance_in_loop})")
+
+    t0 = time.time()
+    big = train_big_model(package, clip.frames, QUALITY_BIG_CONFIG, train)
+    print(f"big model: {time.time() - t0:.0f}s "
+          f"({big.size_bytes / 1024:.0f} KiB)")
+
+    results = {
+        "LOW": play_low(package, clip.frames),
+        "NAS": play_nas(package, big, clip.frames),
+        "NEMO": play_nemo(package, big, clip.frames),
+        "NEMO-adaptive": play_nemo_adaptive(package, big, clip.frames,
+                                            budget_per_segment=2),
+        "dcSR": DcsrClient(package).play(clip.frames),
+    }
+
+    bandwidth = 2e6  # 2 Mbit/s access link for the startup column
+    print(f"\n{'method':<14} {'PSNR dB':>8} {'SSIM':>7} {'KiB':>7} "
+          f"{'SR inf':>7} {'startup s':>10}")
+    for name, res in results.items():
+        model_bytes = res.model_bytes
+        start = startup_delay(bandwidth,
+                              package.encoded.segments[0].n_bytes,
+                              model_bytes if name != "dcSR" else
+                              package.manifest.model_sizes[
+                                  package.manifest.label_sequence()[0]])
+        print(f"{name:<14} {res.mean_psnr:>8.2f} {res.mean_ssim:>7.3f} "
+              f"{res.total_bytes / 1024:>7.1f} {res.sr_inferences:>7d} "
+              f"{start:>10.2f}")
+
+    print("\nReading the table: NAS buys the top quality with ~4x the bytes "
+          "and an inference\nper frame; dcSR matches NEMO's quality with "
+          "per-cluster micro models, a fraction\nof the download, and the "
+          "fastest SR startup.")
+
+
+if __name__ == "__main__":
+    main()

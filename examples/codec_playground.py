@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Codec playground: the H.264-like substrate on its own.
+
+Encodes a synthetic clip at several CRF values, prints the rate-distortion
+curve and the per-frame-type bit breakdown (I frames dominate — the
+structural fact dcSR builds on), and demonstrates the decoder's I-frame
+enhancement hook with a trivial sharpening filter.
+
+    python examples/codec_playground.py
+"""
+
+import numpy as np
+
+from repro.video import (
+    YuvFrame,
+    detect_segments,
+    make_video,
+    psnr_yuv,
+    rgb_to_yuv420,
+)
+from repro.video.codec import CodecConfig, Decoder, Encoder
+
+
+def sharpen_hook(frame: YuvFrame, display: int) -> YuvFrame:
+    """A stand-in for an SR model: unsharp-mask the luma plane."""
+    from scipy.ndimage import gaussian_filter
+    luma = frame.y.astype(np.float64)
+    blurred = gaussian_filter(luma, 1.0)
+    sharp = np.clip(luma + 0.6 * (luma - blurred), 0, 255)
+    return YuvFrame(sharp.astype(np.uint8), frame.u, frame.v)
+
+
+def main() -> None:
+    clip = make_video("codec-demo", genre="sports", seed=3, size=(48, 64),
+                      duration_seconds=4.0, fps=10)
+    segments = detect_segments(clip.frames)
+    originals = [rgb_to_yuv420(f) for f in clip.frames]
+    raw_bytes = clip.n_frames * originals[0].nbytes()
+
+    print("CRF   size (KiB)  compression  luma PSNR (dB)")
+    for crf in (10, 25, 40, 51):
+        encoded = Encoder(CodecConfig(crf=crf)).encode(clip.frames, segments,
+                                                       fps=clip.fps)
+        decoded = Decoder().decode_video(encoded)
+        quality = np.mean([psnr_yuv(a, b)
+                           for a, b in zip(originals, decoded.frames)])
+        print(f"{crf:3d}   {encoded.total_bytes / 1024:10.1f}  "
+              f"{raw_bytes / encoded.total_bytes:10.1f}x  {quality:10.2f}")
+
+    encoded = Encoder(CodecConfig(crf=35)).encode(clip.frames, segments,
+                                                  fps=clip.fps)
+    bits = encoded.bits_by_type()
+    counts = {t: encoded.frame_types().count(t) for t in "IPB"}
+    print("\nper-frame-type coding cost at CRF 35:")
+    for ftype in "IPB":
+        if counts[ftype]:
+            per_frame = bits[ftype] / counts[ftype] / 8 / 1024
+            print(f"  {ftype}: {counts[ftype]:3d} frames, "
+                  f"{per_frame:6.2f} KiB/frame")
+
+    plain = Decoder().decode_video(encoded)
+    hooked = Decoder(i_frame_hook=sharpen_hook).decode_video(encoded)
+    changed = sum(1 for a, b in zip(plain.frames, hooked.frames) if a != b)
+    print(f"\nI-frame hook demo: sharpening only the "
+          f"{len(plain.i_frame_indices)} I frames changed "
+          f"{changed}/{plain.n_frames} decoded frames — the enhancement "
+          f"propagates\nthrough the P/B reference structure, exactly the "
+          f"mechanism dcSR exploits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Device planning: pick a dcSR configuration for a target device.
+
+Sweeps the dcSR-1/2/3 configurations and the NAS/NEMO big models over the
+three device classes and resolutions of the paper, printing the practical
+playback FPS (decode + SR inference per segment), memory feasibility, and
+SR power draw.  Everything is analytic — no training needed — so this runs
+in seconds.
+
+    python examples/device_planning.py
+"""
+
+from repro.devices import (
+    DEVICES,
+    OutOfMemory,
+    get_device,
+    inference_seconds,
+    playback_fps,
+    sr_power_draw,
+)
+from repro.sr import EDSR, RESOLUTIONS, big_model_config, dcsr_config
+
+SEGMENT_FRAMES = 30
+INFERENCES = 1
+
+
+def describe(model, resolution, device):
+    try:
+        cost = inference_seconds(model, resolution, device)
+    except OutOfMemory:
+        return "OOM", "-", "-"
+    fps = playback_fps(model, resolution, device, SEGMENT_FRAMES, INFERENCES)
+    watts = sr_power_draw(device, cost.profile.flops, cost.seconds)
+    return f"{fps:6.1f}", f"{cost.seconds * 1000:7.1f}", f"{watts:5.2f}"
+
+
+def main() -> None:
+    for device_name in DEVICES:
+        device = get_device(device_name)
+        print(f"\n=== {device.name} "
+              f"({device.effective_flops / 1e12:.1f} TFLOPs/s effective, "
+              f"{device.usable_memory_bytes / 1e9:.0f} GB usable) ===")
+        print(f"{'resolution':<10} {'model':<8} {'FPS':>6} {'ms/inf':>8} "
+              f"{'SR W':>6}")
+        for res_name, res in RESOLUTIONS.items():
+            candidates = [("NAS/NEMO", EDSR(big_model_config(res_name)))]
+            for level in (1, 2, 3):
+                candidates.append(
+                    (f"dcSR-{level}", EDSR(dcsr_config(level, res.sr_scale))))
+            for label, model in candidates:
+                fps, ms, watts = describe(model, res_name, device)
+                marker = ""
+                if fps not in ("OOM",) and float(fps) >= 30.0:
+                    marker = "  <- real-time"
+                print(f"{res_name:<10} {label:<8} {fps:>6} {ms:>8} "
+                      f"{watts:>6}{marker}")
+
+    print("\nReading the table: dcSR-1 is the only configuration that is "
+          "real-time on the\nmobile-grade device at every resolution; the "
+          "big models cannot even allocate\ntheir working set at 4K there "
+          "(the paper's Figure 8).")
+
+
+if __name__ == "__main__":
+    main()

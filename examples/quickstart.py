@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: run the full dcSR pipeline on one synthetic video.
+
+Builds the server-side package (segmentation -> VAE features -> constrained
+clustering -> micro-model training), streams it through the client's
+SR-integrated decoder, and prints quality and bandwidth against the
+unenhanced low-quality decode.
+
+Runs in a couple of minutes on a laptop CPU:
+
+    python examples/quickstart.py
+"""
+
+import time
+
+from repro.core import DcsrClient, ServerConfig, build_package, play_low
+from repro.features import VaeTrainConfig
+from repro.sr import EdsrConfig, SrTrainConfig
+from repro.video import make_video
+from repro.video.codec import CodecConfig
+
+
+def main() -> None:
+    # 1. A 10-second synthetic "music video" with recurring scenes — the
+    #    offline stand-in for a YouTube video (see DESIGN.md).
+    clip = make_video("quickstart", genre="music", seed=7, size=(48, 64),
+                      duration_seconds=10.0, fps=10, n_distinct_scenes=3)
+    print(f"video: {clip.name}, {clip.n_frames} frames "
+          f"({clip.width}x{clip.height} @ {clip.fps:g} fps)")
+
+    # 2. Server side: encode at CRF 51 (the paper's low-quality setting) and
+    #    train one micro EDSR model per scene cluster.
+    config = ServerConfig(
+        codec=CodecConfig(crf=51),
+        vae_train=VaeTrainConfig(epochs=12, batch_size=4),
+        sr_train=SrTrainConfig(epochs=25, steps_per_epoch=12, batch_size=8,
+                               patch_size=16, learning_rate=5e-3,
+                               lr_decay_epochs=10),
+        micro_config=EdsrConfig(n_resblocks=2, n_filters=8),
+    )
+    t0 = time.time()
+    package = build_package(clip, config)
+    print(f"server pipeline: {time.time() - t0:.1f}s — "
+          f"{package.manifest.n_segments} segments, "
+          f"K = {package.selection.k} micro models "
+          f"({package.manifest.total_model_bytes / 1024:.0f} KiB total)")
+    print(f"segment -> model labels: {package.manifest.label_sequence()}")
+
+    # 3. Client side: stream with SR applied to I frames in the decoder's
+    #    picture buffer; micro models are cached across segments.
+    result = DcsrClient(package).play(reference_frames=clip.frames)
+    low = play_low(package, clip.frames)
+
+    print("\n              PSNR (dB)   SSIM    downloaded")
+    print(f"dcSR          {result.mean_psnr:7.2f}  {result.mean_ssim:6.3f}"
+          f"    {result.total_bytes / 1024:6.0f} KiB "
+          f"(models: {result.model_bytes / 1024:.0f} KiB, "
+          f"{result.cache_stats.downloads} downloads, "
+          f"{result.cache_stats.hits} cache hits)")
+    print(f"LOW (no SR)   {low.mean_psnr:7.2f}  {low.mean_ssim:6.3f}"
+          f"    {low.total_bytes / 1024:6.0f} KiB")
+    gain = result.mean_psnr - low.mean_psnr
+    print(f"\ndcSR enhances the video by {gain:+.2f} dB overall; its I frames "
+          f"gain the most and\npropagate through the GOP's P/B references.")
+
+
+if __name__ == "__main__":
+    main()

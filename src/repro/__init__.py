@@ -1,0 +1,29 @@
+"""repro — a full reproduction of dcSR (CoNEXT 2021).
+
+dcSR: Practical Video Quality Enhancement Using Data-Centric Super
+Resolution (Baek, Dasari, Das, Ryoo).
+
+Subpackages
+-----------
+``repro.nn``
+    Numpy neural-network framework (TensorFlow stand-in).
+``repro.video``
+    Video substrate: frames, color, synthetic content, quality metrics,
+    segmentation, and a from-scratch H.264-like block codec.
+``repro.features``
+    Variational autoencoder used for I-frame feature extraction.
+``repro.clustering``
+    K-means, global K-means, silhouette, and constrained K selection.
+``repro.sr``
+    EDSR super-resolution models, training, and configuration search.
+``repro.core``
+    The dcSR system: server pipeline, client decoder integration, model
+    caching, baselines (NAS / NEMO), and streaming accounting.
+``repro.devices``
+    Analytic device models (Jetson Xavier NX, laptop, desktop): latency,
+    memory, and power.
+``repro.bench``
+    Experiment harness and canonical workloads.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,131 @@
+"""ABR policies.
+
+- :class:`ThroughputAbr` — classic rate-based selection with an EMA
+  throughput estimate and a safety margin.
+- :class:`BufferAbr` — BOLA-style buffer thresholds.
+- :class:`DcsrAwareAbr` — the paper's discussion-section idea: the policy
+  budgets for pending micro-model downloads and scores each rung by its
+  *enhanced* quality, letting it ride a lower bitrate for the same
+  perceived quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ladder import BitrateLadder
+
+__all__ = ["AbrPolicy", "ThroughputAbr", "BufferAbr", "DcsrAwareAbr"]
+
+
+class AbrPolicy:
+    """Base policy: pick a level for the next segment."""
+
+    name = "base"
+
+    def choose(
+        self, ladder: BitrateLadder, segment: int,
+        throughput_estimate_bps: float, buffer_s: float,
+    ) -> int:
+        raise NotImplementedError
+
+    def extra_bits(self, segment: int, level: int) -> float:
+        """Side-channel bytes the policy knows it must also fetch (models)."""
+        return 0.0
+
+
+class ThroughputAbr(AbrPolicy):
+    """Highest rung whose bitrate fits under ``safety * throughput``."""
+
+    name = "throughput"
+
+    def __init__(self, safety: float = 0.85):
+        if not 0 < safety <= 1:
+            raise ValueError("safety must be in (0, 1]")
+        self.safety = float(safety)
+
+    def choose(self, ladder, segment, throughput_estimate_bps, buffer_s):
+        budget = self.safety * throughput_estimate_bps
+        for level in range(ladder.n_levels):  # best quality first
+            need = ladder.bitrate_bps(level, segment)
+            need += self.extra_bits(segment, level) / ladder.segment_seconds[segment]
+            if need <= budget:
+                return level
+        return ladder.n_levels - 1
+
+
+class BufferAbr(AbrPolicy):
+    """Buffer-threshold policy: deeper buffer -> higher quality."""
+
+    name = "buffer"
+
+    def __init__(self, reservoir_s: float = 4.0, cushion_s: float = 12.0):
+        if reservoir_s <= 0 or cushion_s <= reservoir_s:
+            raise ValueError("need 0 < reservoir < cushion")
+        self.reservoir_s = float(reservoir_s)
+        self.cushion_s = float(cushion_s)
+
+    def choose(self, ladder, segment, throughput_estimate_bps, buffer_s):
+        if buffer_s <= self.reservoir_s:
+            return ladder.n_levels - 1
+        if buffer_s >= self.cushion_s:
+            return 0
+        frac = (buffer_s - self.reservoir_s) / (self.cushion_s - self.reservoir_s)
+        # frac = 1 -> best level (0); frac = 0 -> worst.
+        return int(round((1.0 - frac) * (ladder.n_levels - 1)))
+
+
+class DcsrAwareAbr(ThroughputAbr):
+    """Throughput ABR that understands dcSR.
+
+    Two changes over the base policy:
+
+    1. **model budgeting** — segments whose micro model is not cached yet
+       cost extra bits, charged through :meth:`extra_bits`;
+    2. **enhanced quality targeting** — given a target quality, it picks the
+       *cheapest* rung whose dcSR-enhanced quality reaches the target,
+       instead of simply maxing quality under the rate budget.
+    """
+
+    name = "dcsr-aware"
+
+    def __init__(
+        self, enhanced_quality: np.ndarray, model_bits_by_segment: list[float],
+        target_quality_db: float, safety: float = 0.85,
+        enhanced_level: int | None = None,
+    ):
+        """``enhanced_quality[level][segment]`` is the post-SR PSNR;
+        ``model_bits_by_segment[s]`` is the model download charged at
+        segment ``s`` (zero when cached).  Models are only fetched — and
+        only charged — when the client actually plays ``enhanced_level``
+        (default: the bottom rung, the one dcSR prepares models for)."""
+        super().__init__(safety=safety)
+        self.enhanced_quality = np.asarray(enhanced_quality, dtype=np.float64)
+        self.model_bits_by_segment = list(model_bits_by_segment)
+        self.target_quality_db = float(target_quality_db)
+        self.enhanced_level = (self.enhanced_quality.shape[0] - 1
+                               if enhanced_level is None else int(enhanced_level))
+
+    def extra_bits(self, segment: int, level: int) -> float:
+        if level == self.enhanced_level:
+            return self.model_bits_by_segment[segment]
+        return 0.0
+
+    def choose(self, ladder, segment, throughput_estimate_bps, buffer_s):
+        budget = self.safety * throughput_estimate_bps
+        seconds = ladder.segment_seconds[segment]
+        affordable = []
+        for level in range(ladder.n_levels):
+            need = ladder.bitrate_bps(level, segment)
+            need += self.extra_bits(segment, level) / seconds
+            if need <= budget:
+                affordable.append(level)
+        if not affordable:
+            return ladder.n_levels - 1
+        # Cheapest affordable rung that still hits the enhanced-quality
+        # target; otherwise the best-quality affordable rung.
+        meeting = [lvl for lvl in affordable
+                   if self.enhanced_quality[lvl, segment] >= self.target_quality_db]
+        if meeting:
+            return max(meeting)  # higher index = lower bitrate
+        return min(affordable)

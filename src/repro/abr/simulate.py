@@ -1,0 +1,118 @@
+"""ABR session simulation.
+
+Discrete-event playback: the client downloads segments (plus any model
+bytes the policy budgets), the buffer drains in real time, and rebuffering
+happens when a segment is not ready by its deadline.  QoE follows the
+standard linear form: mean quality − rebuffer penalty − switching penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .ladder import BitrateLadder
+from .policies import AbrPolicy
+from .trace import NetworkTrace
+
+__all__ = ["AbrSessionResult", "simulate_session", "qoe_score"]
+
+
+@dataclass
+class AbrSessionResult:
+    """Outcome of one simulated streaming session."""
+
+    levels: list[int] = field(default_factory=list)
+    qualities: list[float] = field(default_factory=list)   # per segment, dB
+    rebuffer_seconds: float = 0.0
+    startup_seconds: float = 0.0
+    video_bits: float = 0.0
+    extra_bits: float = 0.0
+    switches: int = 0
+
+    @property
+    def total_bits(self) -> float:
+        return self.video_bits + self.extra_bits
+
+    @property
+    def mean_quality(self) -> float:
+        return float(np.mean(self.qualities)) if self.qualities else 0.0
+
+
+def qoe_score(
+    result: AbrSessionResult, rebuffer_penalty: float = 4.0,
+    switch_penalty: float = 0.5,
+) -> float:
+    """Linear QoE: quality − rebuffering − switching (Pensieve-style)."""
+    return (result.mean_quality
+            - rebuffer_penalty * result.rebuffer_seconds
+            - switch_penalty * result.switches)
+
+
+def simulate_session(
+    ladder: BitrateLadder, policy: AbrPolicy, trace: NetworkTrace,
+    startup_buffer_s: float = 2.0, max_buffer_s: float = 8.0,
+    throughput_ema: float = 0.5,
+    quality_table: np.ndarray | None = None,
+) -> AbrSessionResult:
+    """Stream every segment of ``ladder`` under ``policy`` over ``trace``.
+
+    The client never buffers beyond ``max_buffer_s`` (players cap their
+    look-ahead), so bandwidth drops later in the session genuinely hurt.
+    ``quality_table[level][segment]`` overrides the per-segment quality
+    credited to the session (used to credit dcSR's *enhanced* quality);
+    defaults to the ladder's decoded quality.
+    """
+    if not 0 < throughput_ema <= 1:
+        raise ValueError("throughput_ema must be in (0, 1]")
+    if max_buffer_s <= 0:
+        raise ValueError("max_buffer_s must be positive")
+    result = AbrSessionResult()
+    clock = 0.0          # wall time
+    buffer_s = 0.0       # seconds of video buffered
+    estimate = trace.bandwidth_at(0.0)
+    playing = False
+    prev_level: int | None = None
+
+    for segment in range(ladder.n_segments):
+        if playing and buffer_s + ladder.segment_seconds[segment] > max_buffer_s:
+            # Buffer full: idle until there is room for the next segment.
+            wait = buffer_s + ladder.segment_seconds[segment] - max_buffer_s
+            clock += wait
+            buffer_s -= wait
+        level = policy.choose(ladder, segment, estimate, buffer_s)
+        seg_bits = ladder.levels[level].segment_bits[segment]
+        extra = policy.extra_bits(segment, level)
+        dl_seconds = trace.download_time(seg_bits + extra, clock)
+
+        if playing:
+            # Buffer drains while downloading.
+            drained = min(buffer_s, dl_seconds)
+            stall = dl_seconds - drained
+            result.rebuffer_seconds += max(0.0, stall)
+            buffer_s = max(0.0, buffer_s - dl_seconds)
+        clock += dl_seconds
+        buffer_s += ladder.segment_seconds[segment]
+
+        if not playing and (buffer_s >= startup_buffer_s
+                            or segment == ladder.n_segments - 1):
+            playing = True
+            result.startup_seconds = clock
+
+        measured = (seg_bits + extra) / max(dl_seconds, 1e-9)
+        estimate = (1 - throughput_ema) * estimate + throughput_ema * measured
+
+        if prev_level is not None and level != prev_level:
+            result.switches += 1
+        prev_level = level
+        result.levels.append(level)
+        if quality_table is not None:
+            result.qualities.append(float(quality_table[level, segment]))
+        else:
+            result.qualities.append(
+                ladder.levels[level].segment_quality[segment])
+        result.video_bits += seg_bits
+        result.extra_bits += extra
+
+    return result

@@ -1,0 +1,25 @@
+"""Benchmark harness: canonical workloads and result printers."""
+
+from .runner import cdf_points, format_table, print_series, print_table, save_results
+from .workloads import (
+    CORPUS_GENRES,
+    CorpusSpec,
+    corpus_spec,
+    make_corpus,
+    quality_big_train_config,
+    quality_server_config,
+)
+
+__all__ = [
+    "format_table",
+    "print_table",
+    "print_series",
+    "cdf_points",
+    "save_results",
+    "CORPUS_GENRES",
+    "CorpusSpec",
+    "corpus_spec",
+    "make_corpus",
+    "quality_server_config",
+    "quality_big_train_config",
+]

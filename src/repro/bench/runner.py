@@ -1,0 +1,90 @@
+"""Experiment output helpers: aligned tables and series printers.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report, so a run of ``pytest benchmarks/ --benchmark-only -s`` regenerates
+the evaluation section in text form.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "print_table", "print_series", "save_results",
+           "cdf_points"]
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence],
+) -> str:
+    """Render an aligned text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"== {title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence]) -> None:
+    print("\n" + format_table(title, headers, rows) + "\n")
+
+
+def print_series(title: str, xs: Sequence, ys_by_name: dict[str, Sequence]) -> None:
+    """Print a figure's line series as a table with X as the first column."""
+    headers = ["x"] + list(ys_by_name)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[i] for series in ys_by_name.values()])
+    print_table(title, headers, rows)
+
+
+def cdf_points(values: Sequence[float], n_points: int = 11) -> list[tuple[float, float]]:
+    """(value, cumulative fraction) pairs at evenly spaced quantiles."""
+    ordered = sorted(values)
+    if not ordered:
+        return []
+    out = []
+    for i in range(n_points):
+        frac = i / (n_points - 1)
+        idx = min(int(frac * (len(ordered) - 1)), len(ordered) - 1)
+        out.append((ordered[idx], frac))
+    return out
+
+
+def save_results(name: str, payload: dict, directory: str | Path = "bench_results") -> Path:
+    """Persist one experiment's numbers as JSON for EXPERIMENTS.md."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=_json_default)
+    return path
+
+
+def _json_default(obj):
+    import numpy as np
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON serializable: {type(obj)}")

@@ -1,0 +1,94 @@
+"""Canonical benchmark workloads.
+
+The paper evaluates on six ~12-minute YouTube videos from different genres.
+The offline stand-in is six synthetic videos, one per genre preset, with
+recurring scenes (DESIGN.md documents the substitution).  Quality
+experiments run at a scaled-down frame size — the pipeline is identical,
+only the pixel count is smaller so numpy training finishes in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..core import ServerConfig
+from ..features import VaeTrainConfig
+from ..sr import EdsrConfig, SrTrainConfig
+from ..video import VideoClip, make_video
+from ..video.codec import CodecConfig
+
+__all__ = ["CORPUS_GENRES", "CorpusSpec", "corpus_spec", "make_corpus",
+           "quality_server_config", "quality_big_train_config"]
+
+#: One video per genre, mirroring the paper's "6 representative videos from
+#: different genres".
+CORPUS_GENRES = ("news", "sports", "documentary", "music", "gaming",
+                 "animation")
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Size/duration of the benchmark corpus.
+
+    ``fast`` halves durations and training for quick smoke runs
+    (set the ``REPRO_BENCH_FAST`` environment variable).
+    """
+
+    size: tuple[int, int] = (48, 64)
+    duration_seconds: float = 10.0
+    fps: float = 10.0
+    n_distinct_scenes: int = 3
+    crf: int = 51
+    #: Bound on segment length (frames): long shots are split so every
+    #: couple of seconds starts with a fresh I frame, as real encoders do
+    #: for seek latency — and as dcSR needs for its enhancement anchors.
+    max_segment_frames: int = 20
+    sr_epochs: int = 25
+    sr_steps: int = 12
+    vae_epochs: int = 12
+    fast: bool = False
+
+
+def corpus_spec() -> CorpusSpec:
+    """The active corpus spec (env-controlled fast mode)."""
+    if os.environ.get("REPRO_BENCH_FAST"):
+        return CorpusSpec(duration_seconds=6.0, sr_epochs=12, sr_steps=8,
+                          vae_epochs=6, fast=True)
+    return CorpusSpec()
+
+
+def make_corpus(spec: CorpusSpec | None = None) -> list[VideoClip]:
+    """The six-genre corpus, deterministic across runs."""
+    spec = spec or corpus_spec()
+    return [
+        make_video(name=f"video-{i + 1}-{genre}", genre=genre, seed=100 + i,
+                   size=spec.size, duration_seconds=spec.duration_seconds,
+                   fps=spec.fps, n_distinct_scenes=spec.n_distinct_scenes)
+        for i, genre in enumerate(CORPUS_GENRES)
+    ]
+
+
+def quality_server_config(spec: CorpusSpec | None = None) -> ServerConfig:
+    """The dcSR server settings used by the quality benchmarks."""
+    spec = spec or corpus_spec()
+    return ServerConfig(
+        codec=CodecConfig(crf=spec.crf),
+        max_segment_len=spec.max_segment_frames,
+        vae_train=VaeTrainConfig(epochs=spec.vae_epochs, batch_size=4),
+        sr_train=SrTrainConfig(epochs=spec.sr_epochs,
+                               steps_per_epoch=spec.sr_steps,
+                               batch_size=8, patch_size=16,
+                               learning_rate=5e-3,
+                               lr_decay_epochs=max(5, spec.sr_epochs // 3)),
+        micro_config=EdsrConfig(n_resblocks=2, n_filters=8),
+        seed=0,
+    )
+
+
+def quality_big_train_config(spec: CorpusSpec | None = None) -> SrTrainConfig:
+    """Training settings for the NAS/NEMO big model (same step budget)."""
+    spec = spec or corpus_spec()
+    return SrTrainConfig(epochs=spec.sr_epochs, steps_per_epoch=spec.sr_steps,
+                         batch_size=8, patch_size=16, learning_rate=5e-3,
+                         lr_decay_epochs=max(5, spec.sr_epochs // 3), seed=1)

@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+End-to-end workflow from a shell::
+
+    repro-dcsr generate --genre music --seconds 10 --out video.npz
+    repro-dcsr prepare video.npz --out pkg/ --crf 51
+    repro-dcsr info pkg/
+    repro-dcsr play pkg/ --reference video.npz
+    repro-dcsr plan --device jetson --resolution 4k
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dcsr",
+        description="dcSR: data-centric super resolution (CoNEXT 2021 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic video")
+    gen.add_argument("--genre", default="music",
+                     help="news/sports/documentary/music/gaming/animation")
+    gen.add_argument("--seconds", type=float, default=10.0)
+    gen.add_argument("--fps", type=float, default=10.0)
+    gen.add_argument("--height", type=int, default=48)
+    gen.add_argument("--width", type=int, default=64)
+    gen.add_argument("--scenes", type=int, default=3)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--out", required=True, help="output .npz path")
+
+    prep = sub.add_parser("prepare", help="run the server pipeline")
+    prep.add_argument("video", help="video .npz from `generate`")
+    prep.add_argument("--out", required=True, help="package directory")
+    prep.add_argument("--crf", type=int, default=51)
+    prep.add_argument("--epochs", type=int, default=25,
+                      help="SR training epochs per micro model")
+    prep.add_argument("--max-segment-frames", type=int, default=20)
+    prep.add_argument("--k", type=int, default=None,
+                      help="override the silhouette-selected K")
+
+    info = sub.add_parser("info", help="inspect a stored package")
+    info.add_argument("package", help="package directory")
+
+    play = sub.add_parser("play", help="stream a stored package")
+    play.add_argument("package", help="package directory")
+    play.add_argument("--reference", default=None,
+                      help="original video .npz for quality scoring")
+
+    plan = sub.add_parser("plan", help="device feasibility table")
+    plan.add_argument("--device", default="jetson",
+                      help="jetson / laptop / desktop")
+    plan.add_argument("--resolution", default="1080p",
+                      help="720p / 1080p / 4k")
+    plan.add_argument("--segment-frames", type=int, default=30)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    from .video import make_video
+
+    clip = make_video(Path(args.out).stem, genre=args.genre, seed=args.seed,
+                      size=(args.height, args.width),
+                      duration_seconds=args.seconds, fps=args.fps,
+                      n_distinct_scenes=args.scenes)
+    np.savez_compressed(args.out, frames=clip.frames, fps=clip.fps,
+                        scene_ids=clip.scene_ids, genre=clip.genre,
+                        name=clip.name)
+    print(f"wrote {clip.n_frames} frames "
+          f"({clip.width}x{clip.height} @ {clip.fps:g} fps) to {args.out}")
+    return 0
+
+
+def _load_clip(path: str):
+    from .video.synthetic import VideoClip
+
+    with np.load(path, allow_pickle=False) as data:
+        return VideoClip(name=str(data["name"]), genre=str(data["genre"]),
+                         frames=data["frames"], fps=float(data["fps"]),
+                         scene_ids=data["scene_ids"])
+
+
+def _cmd_prepare(args) -> int:
+    from .core import ServerConfig, build_package, save_package
+    from .sr import SrTrainConfig
+    from .video.codec import CodecConfig
+
+    clip = _load_clip(args.video)
+    config = ServerConfig(
+        codec=CodecConfig(crf=args.crf),
+        max_segment_len=args.max_segment_frames,
+        sr_train=SrTrainConfig(epochs=args.epochs, steps_per_epoch=12,
+                               batch_size=8, patch_size=16,
+                               learning_rate=5e-3,
+                               lr_decay_epochs=max(5, args.epochs // 3)),
+        k_override=args.k,
+    )
+    t0 = time.time()
+    package = build_package(clip, config)
+    save_package(package, args.out)
+    print(f"prepared {package.manifest.n_segments} segments, "
+          f"K = {package.selection.k} micro models in {time.time() - t0:.1f}s"
+          f" -> {args.out}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .core import load_package, simulate_caching
+
+    package = load_package(args.package)
+    manifest = package.manifest
+    print(f"video:    {manifest.video_name} "
+          f"({manifest.width}x{manifest.height} @ {manifest.fps:g} fps, "
+          f"CRF {manifest.crf})")
+    print(f"frames:   {manifest.n_frames} in {manifest.n_segments} segments")
+    print(f"models:   {manifest.n_models} "
+          f"({manifest.total_model_bytes / 1024:.0f} KiB total)")
+    print(f"video:    {package.encoded.total_bytes / 1024:.0f} KiB encoded")
+    labels = manifest.label_sequence()
+    _, stats = simulate_caching(labels)
+    print(f"labels:   {labels}")
+    print(f"caching:  {stats.downloads} downloads, {stats.hits} hits "
+          f"({stats.hit_rate:.0%} hit rate)")
+    return 0
+
+
+def _cmd_play(args) -> int:
+    from .core import DcsrClient, load_package
+
+    package = load_package(args.package)
+    reference = _load_clip(args.reference).frames if args.reference else None
+    result = DcsrClient(package).play(reference)
+    print(f"played {len(result.frames)} frames, "
+          f"{result.sr_inferences} SR inferences")
+    print(f"downloaded: video {result.video_bytes / 1024:.0f} KiB + "
+          f"models {result.model_bytes / 1024:.0f} KiB "
+          f"(labels {result.model_downloads})")
+    if reference is not None:
+        print(f"quality: {result.mean_psnr:.2f} dB PSNR, "
+              f"{result.mean_ssim:.3f} SSIM")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from .devices import OutOfMemory, get_device, inference_seconds, playback_fps
+    from .sr import EDSR, RESOLUTIONS, big_model_config, dcsr_config
+
+    device = get_device(args.device)
+    res = RESOLUTIONS[args.resolution.lower()]
+    print(f"{device.name} @ {res.name} "
+          f"(segment = {args.segment_frames} frames)")
+    print(f"{'model':<10} {'FPS@1':>8} {'FPS@5':>8} {'ms/inf':>8} {'mem MB':>8}")
+    candidates = [("NAS/NEMO", EDSR(big_model_config(res.name)))]
+    for level in (1, 2, 3):
+        candidates.append((f"dcSR-{level}", EDSR(dcsr_config(level, res.sr_scale))))
+    for label, model in candidates:
+        try:
+            cost = inference_seconds(model, res.name, device)
+            fps1 = playback_fps(model, res.name, device, args.segment_frames, 1)
+            fps5 = playback_fps(model, res.name, device, args.segment_frames,
+                                min(5, args.segment_frames))
+            print(f"{label:<10} {fps1:>8.1f} {fps5:>8.1f} "
+                  f"{cost.seconds * 1000:>8.1f} "
+                  f"{cost.memory_bytes / 1e6:>8.0f}")
+        except OutOfMemory:
+            print(f"{label:<10} {'OOM':>8} {'OOM':>8} {'-':>8} {'-':>8}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "prepare": _cmd_prepare,
+    "info": _cmd_info,
+    "play": _cmd_play,
+    "plan": _cmd_plan,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Clustering substrate: K-means, global K-means, silhouette, and the
+constrained-K selection of Section 3.1.2."""
+
+from .global_kmeans import global_kmeans, global_kmeans_path
+from .kmeans import KMeansResult, assign_labels, inertia_of, kmeans, lloyd_iterations
+from .selection import KSelection, max_k_for_budget, select_k
+from .silhouette import silhouette_samples, silhouette_score
+
+__all__ = [
+    "KMeansResult",
+    "kmeans",
+    "lloyd_iterations",
+    "assign_labels",
+    "inertia_of",
+    "global_kmeans",
+    "global_kmeans_path",
+    "silhouette_samples",
+    "silhouette_score",
+    "KSelection",
+    "max_k_for_budget",
+    "select_k",
+]

@@ -1,0 +1,57 @@
+"""Silhouette coefficient (Rousseeuw 1987).
+
+The metric dcSR maximizes to pick the number of micro models (Figure 5 and
+Eq. 2): cohesion vs. separation of each point's cluster assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["silhouette_samples", "silhouette_score"]
+
+
+def silhouette_samples(points: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Per-sample silhouette values ``(b - a) / max(a, b)``.
+
+    ``a`` is the mean distance to the sample's own cluster (excluding
+    itself); ``b`` is the smallest mean distance to any other cluster.
+    Samples in singleton clusters score 0 (the standard convention).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    if points.ndim != 2:
+        raise ValueError(f"expected (n, d) points, got shape {points.shape}")
+    n = points.shape[0]
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} does not match {n} points")
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValueError("silhouette requires at least 2 clusters")
+
+    dists = np.sqrt(np.maximum(
+        np.sum(points ** 2, axis=1)[:, None]
+        + np.sum(points ** 2, axis=1)[None, :]
+        - 2.0 * points @ points.T, 0.0))
+
+    values = np.zeros(n, dtype=np.float64)
+    cluster_masks = {c: labels == c for c in unique}
+    sizes = {c: int(m.sum()) for c, m in cluster_masks.items()}
+    for i in range(n):
+        own = labels[i]
+        if sizes[own] == 1:
+            values[i] = 0.0
+            continue
+        a = dists[i][cluster_masks[own]].sum() / (sizes[own] - 1)
+        b = min(
+            dists[i][cluster_masks[c]].mean()
+            for c in unique if c != own
+        )
+        denom = max(a, b)
+        values[i] = 0.0 if denom == 0 else (b - a) / denom
+    return values
+
+
+def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette over all samples."""
+    return float(np.mean(silhouette_samples(points, labels)))

@@ -1,0 +1,58 @@
+"""The dcSR system: server pipeline, client decoder integration, model
+caching, baselines, and streaming accounting."""
+
+from .anchor_selection import AnchorPlan, evaluate_anchor_set, select_anchors
+from .baselines import (
+    BigModelBaseline,
+    play_low,
+    play_nas,
+    play_nemo,
+    play_nemo_adaptive,
+    train_big_model,
+)
+from .cache import CacheStats, ModelCache, simulate_caching
+from .client import DcsrClient, PlaybackResult, enhance_yuv_frame
+from .manifest import SegmentRecord, VideoManifest
+from .persist import StoredPackage, load_package, save_package
+from .server import DcsrPackage, ServerConfig, build_package, prepare_video
+from .streaming import (
+    BandwidthUsage,
+    bandwidth_of,
+    normalized_usage,
+    session_power,
+    startup_comparison,
+    startup_delay,
+)
+
+__all__ = [
+    "SegmentRecord",
+    "VideoManifest",
+    "CacheStats",
+    "ModelCache",
+    "simulate_caching",
+    "ServerConfig",
+    "DcsrPackage",
+    "StoredPackage",
+    "save_package",
+    "load_package",
+    "build_package",
+    "prepare_video",
+    "DcsrClient",
+    "PlaybackResult",
+    "enhance_yuv_frame",
+    "BigModelBaseline",
+    "train_big_model",
+    "play_nas",
+    "play_nemo",
+    "play_nemo_adaptive",
+    "play_low",
+    "AnchorPlan",
+    "select_anchors",
+    "evaluate_anchor_set",
+    "BandwidthUsage",
+    "bandwidth_of",
+    "normalized_usage",
+    "session_power",
+    "startup_delay",
+    "startup_comparison",
+]

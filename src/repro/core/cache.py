@@ -1,0 +1,100 @@
+"""Micro-model caching (Section 3.2.2, Algorithm 1, Figure 7).
+
+The client keeps every downloaded micro model; when a later segment maps to
+a model label already in the cache, no download happens.  An optional LRU
+capacity bound extends the paper's unbounded cache to memory-constrained
+clients (failure-injection tests exercise it).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Generic, TypeVar
+
+__all__ = ["CacheStats", "ModelCache", "simulate_caching"]
+
+M = TypeVar("M")
+
+
+@dataclass
+class CacheStats:
+    """Download/hit counters for one playback session."""
+
+    downloads: int = 0
+    hits: int = 0
+    evictions: int = 0
+    downloaded_labels: list[int] = field(default_factory=list)
+
+    @property
+    def requests(self) -> int:
+        return self.downloads + self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class ModelCache(Generic[M]):
+    """Label-keyed model cache with optional LRU bound.
+
+    Parameters
+    ----------
+    fetch:
+        ``label -> model``; invoked on a miss (the DOWNLOAD of Algorithm 1).
+    capacity:
+        Maximum cached models; ``None`` reproduces the paper's unbounded
+        cache.
+    """
+
+    def __init__(self, fetch: Callable[[int], M], capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self._fetch = fetch
+        self._capacity = capacity
+        self._store: OrderedDict[int, M] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __contains__(self, label: int) -> bool:
+        return label in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, label: int) -> M:
+        """Algorithm 1 body: fetch on miss, then return the cached model."""
+        if label in self._store:
+            self.stats.hits += 1
+            self._store.move_to_end(label)
+            return self._store[label]
+        model = self._fetch(label)
+        self.stats.downloads += 1
+        self.stats.downloaded_labels.append(label)
+        self._store[label] = model
+        if self._capacity is not None and len(self._store) > self._capacity:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+        return model
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+def simulate_caching(
+    label_sequence: list[int], capacity: int | None = None,
+) -> tuple[list[bool], CacheStats]:
+    """Dry-run Algorithm 1 over a label sequence.
+
+    Returns ``(download_flags, stats)`` where ``download_flags[i]`` says
+    whether playing segment ``i`` triggered a model download — the
+    walk-through of Figure 7 (labels ``0112223`` download at segments
+    0, 1, 3, 6).
+    """
+    cache: ModelCache[int] = ModelCache(fetch=lambda label: label,
+                                        capacity=capacity)
+    flags = []
+    for label in label_sequence:
+        before = cache.stats.downloads
+        cache.get(label)
+        flags.append(cache.stats.downloads > before)
+    return flags, cache.stats

@@ -1,0 +1,130 @@
+"""Client-side dcSR (Section 3.2, Figure 6).
+
+Streams a :class:`~repro.core.server.DcsrPackage` segment by segment:
+
+1. download the segment (bytes counted);
+2. check the manifest's model label against the cache; download the micro
+   model only on a miss (Algorithm 1);
+3. decode the segment with the SR hook installed: each I frame is pulled
+   out of the decoded-picture buffer, converted YUV -> RGB, enhanced by the
+   segment's micro model, converted back, and written back into the DPB so
+   every P/B frame reconstructs from the enhanced reference;
+4. emit display-order frames and per-frame quality against the pristine
+   original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sr.edsr import EDSR
+from ..video import rgb_to_yuv420, yuv420_to_rgb
+from ..video.frame import YuvFrame
+from ..video.quality import psnr, ssim
+from .cache import CacheStats, ModelCache
+from .server import DcsrPackage
+
+__all__ = ["PlaybackResult", "DcsrClient", "enhance_yuv_frame"]
+
+
+def enhance_yuv_frame(model: EDSR, frame: YuvFrame) -> YuvFrame:
+    """Steps 2-5 of Figure 6: YUV -> RGB, SR, RGB -> YUV."""
+    rgb = yuv420_to_rgb(frame)
+    enhanced = model.enhance(rgb)
+    return rgb_to_yuv420(enhanced)
+
+
+@dataclass
+class PlaybackResult:
+    """Outcome of one streaming session."""
+
+    frames: list[np.ndarray] = field(default_factory=list)   # RGB, display order
+    frame_types: list[str] = field(default_factory=list)
+    psnr_per_frame: list[float] = field(default_factory=list)
+    ssim_per_frame: list[float] = field(default_factory=list)
+    video_bytes: int = 0
+    model_bytes: int = 0
+    model_downloads: list[int] = field(default_factory=list)
+    cache_stats: CacheStats | None = None
+    sr_inferences: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.video_bytes + self.model_bytes
+
+    @property
+    def mean_psnr(self) -> float:
+        finite = [p for p in self.psnr_per_frame if np.isfinite(p)]
+        return float(np.mean(finite)) if finite else float("inf")
+
+    @property
+    def mean_ssim(self) -> float:
+        return float(np.mean(self.ssim_per_frame)) if self.ssim_per_frame else 1.0
+
+
+class DcsrClient:
+    """Plays a dcSR package through the SR-integrated decoder."""
+
+    def __init__(self, package: DcsrPackage, cache_capacity: int | None = None):
+        self.package = package
+        self._cache: ModelCache[EDSR] = ModelCache(
+            fetch=self._download_model, capacity=cache_capacity)
+        self._model_bytes = 0
+
+    def _download_model(self, label: int) -> EDSR:
+        model = self.package.models.get(label)
+        if model is None:
+            raise KeyError(f"manifest references missing model {label}")
+        self._model_bytes += self.package.manifest.model_sizes[label]
+        return model
+
+    def play(self, reference_frames: np.ndarray | None = None) -> PlaybackResult:
+        """Stream every segment; optionally score against ``reference_frames``.
+
+        ``reference_frames`` is the pristine ``(T, H, W, 3)`` original; when
+        omitted, quality lists stay empty.
+        """
+        from ..video.codec import Decoder
+
+        package = self.package
+        self._model_bytes = 0
+        result = PlaybackResult()
+        decoded_by_display: dict[int, tuple[str, np.ndarray]] = {}
+        inferences = 0
+
+        for segment, encoded_segment in zip(package.segments,
+                                            package.encoded.segments):
+            label = package.manifest.model_label_for(segment.index)
+            model = self._cache.get(label)
+            result.video_bytes += encoded_segment.n_bytes
+
+            def hook(frame: YuvFrame, display: int, model=model) -> YuvFrame:
+                nonlocal inferences
+                inferences += 1
+                return enhance_yuv_frame(model, frame)
+
+            decoder = Decoder(
+                i_frame_hook=hook,
+                hook_display_only=not package.manifest.enhance_in_loop)
+            for item in decoder.decode_segment(encoded_segment,
+                                               package.encoded.width,
+                                               package.encoded.height):
+                decoded_by_display[item.display] = (
+                    item.ftype, yuv420_to_rgb(item.frame))
+
+        for display in sorted(decoded_by_display):
+            ftype, rgb = decoded_by_display[display]
+            result.frames.append(rgb)
+            result.frame_types.append(ftype)
+            if reference_frames is not None:
+                ref = reference_frames[display]
+                result.psnr_per_frame.append(psnr(rgb, ref))
+                result.ssim_per_frame.append(ssim(rgb, ref))
+
+        result.model_bytes = self._model_bytes
+        result.model_downloads = list(self._cache.stats.downloaded_labels)
+        result.cache_stats = self._cache.stats
+        result.sr_inferences = inferences
+        return result

@@ -1,0 +1,88 @@
+"""Video manifest: the metadata a dcSR server publishes alongside a video.
+
+Maps every segment to its micro-model label (the ``HashMap_L`` of
+Algorithm 1) and records model sizes for bandwidth accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SegmentRecord", "VideoManifest"]
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One segment's entry in the manifest."""
+
+    index: int
+    start: int
+    n_frames: int
+    model_label: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.n_frames
+
+
+@dataclass
+class VideoManifest:
+    """Everything a client needs to stream a dcSR-prepared video."""
+
+    video_name: str
+    width: int
+    height: int
+    fps: float
+    crf: int
+    segments: list[SegmentRecord] = field(default_factory=list)
+    model_sizes: dict[int, int] = field(default_factory=dict)  # label -> bytes
+    #: Whether enhanced I frames are written back into the DPB so P/B frames
+    #: inherit the enhancement.  The server validates this per video (on
+    #: high-motion content, motion-misplaced enhancement detail can hurt
+    #: dependent frames; the fallback enhances I frames for display only).
+    enhance_in_loop: bool = True
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> None:
+        """Check internal consistency (raises ``ValueError``)."""
+        labels_used = {s.model_label for s in self.segments}
+        missing = labels_used - set(self.model_sizes)
+        if missing:
+            raise ValueError(f"segments reference unknown model labels {missing}")
+        expected_start = 0
+        for seg in sorted(self.segments, key=lambda s: s.index):
+            if seg.start != expected_start:
+                raise ValueError(
+                    f"segment {seg.index} starts at {seg.start}, expected "
+                    f"{expected_start}")
+            expected_start = seg.end
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def n_models(self) -> int:
+        return len(self.model_sizes)
+
+    @property
+    def n_frames(self) -> int:
+        return sum(s.n_frames for s in self.segments)
+
+    @property
+    def total_model_bytes(self) -> int:
+        """Bytes of all micro models (each downloaded at most once)."""
+        return sum(self.model_sizes.values())
+
+    def model_label_for(self, segment_index: int) -> int:
+        for seg in self.segments:
+            if seg.index == segment_index:
+                return seg.model_label
+        raise KeyError(f"no segment with index {segment_index}")
+
+    def label_sequence(self) -> list[int]:
+        """Model labels in playback order (the input to Algorithm 1)."""
+        return [s.model_label
+                for s in sorted(self.segments, key=lambda s: s.index)]

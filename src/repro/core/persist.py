@@ -1,0 +1,148 @@
+"""On-disk layout for dcSR packages.
+
+A CDN origin would store exactly this: the manifest as JSON, each segment's
+bitstream as a raw file, and each micro model as an ``.npz`` checkpoint.
+``save_package`` / ``load_package`` round-trip everything a *client* needs
+(server-side artifacts — VAE, features, the pristine decode — are not
+shipped and are not persisted).
+
+Layout::
+
+    <root>/
+      manifest.json
+      segments/segment-0000.bin ...
+      models/model-00.npz ...
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..sr import EDSR, EdsrConfig
+from ..video.codec import CodecConfig, EncodedSegment, EncodedVideo
+from ..video.segment import Segment
+from .manifest import SegmentRecord, VideoManifest
+
+__all__ = ["StoredPackage", "save_package", "load_package"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class StoredPackage:
+    """The client-facing subset of a package, loaded from disk.
+
+    Duck-type compatible with :class:`~repro.core.server.DcsrPackage` for
+    :class:`~repro.core.client.DcsrClient`.
+    """
+
+    manifest: VideoManifest
+    encoded: EncodedVideo
+    models: dict[int, EDSR]
+    segments: list[Segment] = field(default_factory=list)
+
+    @property
+    def n_models(self) -> int:
+        return len(self.models)
+
+
+def save_package(package, root: str | Path) -> Path:
+    """Persist a package's client-facing artifacts under ``root``."""
+    root = Path(root)
+    (root / "segments").mkdir(parents=True, exist_ok=True)
+    (root / "models").mkdir(parents=True, exist_ok=True)
+
+    manifest = package.manifest
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "video_name": manifest.video_name,
+        "width": manifest.width,
+        "height": manifest.height,
+        "fps": manifest.fps,
+        "crf": manifest.crf,
+        "enhance_in_loop": manifest.enhance_in_loop,
+        "codec": {
+            "crf": package.encoded.config.crf,
+            "n_b_frames": package.encoded.config.n_b_frames,
+            "search_range": package.encoded.config.search_range,
+            "extra_i_interval": package.encoded.config.extra_i_interval,
+        },
+        "segments": [
+            {"index": s.index, "start": s.start, "n_frames": s.n_frames,
+             "model_label": s.model_label}
+            for s in manifest.segments
+        ],
+        "model_sizes": {str(k): v for k, v in manifest.model_sizes.items()},
+        "model_configs": {
+            str(label): {
+                "n_resblocks": model.config.n_resblocks,
+                "n_filters": model.config.n_filters,
+                "scale": model.config.scale,
+                "res_scale": model.config.res_scale,
+                "kernel_size": model.config.kernel_size,
+            }
+            for label, model in package.models.items()
+        },
+    }
+    with open(root / "manifest.json", "w") as handle:
+        json.dump(meta, handle, indent=2)
+
+    for segment in package.encoded.segments:
+        path = root / "segments" / f"segment-{segment.index:04d}.bin"
+        path.write_bytes(segment.payload)
+
+    from .. import nn
+    for label, model in package.models.items():
+        nn.save_model(model, root / "models" / f"model-{label:02d}.npz")
+    return root
+
+
+def load_package(root: str | Path) -> StoredPackage:
+    """Load a package previously written by :func:`save_package`."""
+    root = Path(root)
+    manifest_path = root / "manifest.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no manifest at {manifest_path}")
+    with open(manifest_path) as handle:
+        meta = json.load(handle)
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported package format {meta.get('format_version')!r}")
+
+    manifest = VideoManifest(
+        video_name=meta["video_name"], width=meta["width"],
+        height=meta["height"], fps=meta["fps"], crf=meta["crf"],
+        segments=[SegmentRecord(**s) for s in meta["segments"]],
+        model_sizes={int(k): v for k, v in meta["model_sizes"].items()},
+        enhance_in_loop=bool(meta.get("enhance_in_loop", True)),
+    )
+
+    codec = CodecConfig(
+        crf=meta["codec"]["crf"], n_b_frames=meta["codec"]["n_b_frames"],
+        search_range=meta["codec"]["search_range"],
+        extra_i_interval=meta["codec"]["extra_i_interval"],
+    )
+    encoded = EncodedVideo(width=meta["width"], height=meta["height"],
+                           fps=meta["fps"], config=codec)
+    segments = []
+    for record in manifest.segments:
+        payload = (root / "segments"
+                   / f"segment-{record.index:04d}.bin").read_bytes()
+        encoded.segments.append(EncodedSegment(
+            index=record.index, start=record.start,
+            n_frames=record.n_frames, payload=payload))
+        segments.append(Segment(index=record.index, start=record.start,
+                                end=record.end))
+
+    from .. import nn
+    models: dict[int, EDSR] = {}
+    for label_str, cfg in meta["model_configs"].items():
+        label = int(label_str)
+        model = EDSR(EdsrConfig(**cfg))
+        nn.load_model(model, root / "models" / f"model-{label:02d}.npz")
+        models[label] = model
+
+    return StoredPackage(manifest=manifest, encoded=encoded, models=models,
+                         segments=segments)

@@ -1,0 +1,182 @@
+"""Server-side dcSR (Section 3.1, Figure 2).
+
+``build_package`` runs the full pipeline on one video:
+
+1. shot-based variable-length split (or fixed-length when configured);
+2. encode at the target CRF; decode the low-quality reference the client
+   will actually see (the SR training input);
+3. VAE feature extraction over the segments' I frames;
+4. constrained global-K-means clustering (Eq. 2-3);
+5. one micro EDSR model trained per cluster on that cluster's I frames.
+
+The result, a :class:`DcsrPackage`, is what a CDN would host: the encoded
+segments, the manifest, and the micro models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..clustering import KSelection, max_k_for_budget, select_k
+from ..features import ConvVAE, VaeTrainConfig, extract_features, train_vae
+from ..sr import (
+    EDSR,
+    EdsrConfig,
+    QUALITY_BIG_CONFIG,
+    SrTrainConfig,
+    train_sr,
+)
+from ..video import VideoClip, detect_segments, fixed_length_segments, yuv420_to_rgb
+from ..video.codec import CodecConfig, DecodedVideo, Decoder, EncodedVideo, Encoder
+from ..video.segment import Segment
+from .manifest import SegmentRecord, VideoManifest
+
+__all__ = ["ServerConfig", "DcsrPackage", "build_package", "prepare_video"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of the server pipeline.
+
+    ``micro_config`` is the per-cluster model architecture (found by the
+    minimum-working-model search of Appendix A.1; the default is a sensible
+    minimum for the synthetic corpus).  ``big_config`` only enters the K
+    budget (Eq. 3) — it is the single model NAS/NEMO would ship.
+    """
+
+    codec: CodecConfig = field(default_factory=lambda: CodecConfig(crf=45))
+    segment_threshold: float = 0.08
+    min_segment_len: int = 2
+    max_segment_len: int | None = None
+    fixed_segment_len: int | None = None  # use fixed-length split instead
+    vae_latent_dim: int = 8
+    vae_input_size: int = 32
+    vae_train: VaeTrainConfig = field(
+        default_factory=lambda: VaeTrainConfig(epochs=30, batch_size=8))
+    micro_config: EdsrConfig = field(
+        default_factory=lambda: EdsrConfig(n_resblocks=2, n_filters=8))
+    big_config: EdsrConfig = QUALITY_BIG_CONFIG
+    sr_train: SrTrainConfig = field(default_factory=SrTrainConfig)
+    k_override: int | None = None
+    #: Validate per video whether writing enhanced I frames back into the
+    #: DPB (in-loop propagation) beats display-only enhancement, and record
+    #: the winner in the manifest.  Costs two simulated playbacks.
+    validate_in_loop: bool = True
+    seed: int = 0
+
+
+@dataclass
+class DcsrPackage:
+    """Everything the server publishes for one video."""
+
+    manifest: VideoManifest
+    encoded: EncodedVideo
+    models: dict[int, EDSR]
+    features: np.ndarray              # (n_segments, latent_dim)
+    selection: KSelection
+    vae: ConvVAE
+    segments: list[Segment]
+    decoded_low: DecodedVideo         # the client-visible LQ reference
+
+    @property
+    def n_models(self) -> int:
+        return len(self.models)
+
+
+def prepare_video(
+    clip: VideoClip, config: ServerConfig,
+) -> tuple[list[Segment], EncodedVideo, DecodedVideo]:
+    """Steps 1-2: split and encode the video, then decode the LQ version."""
+    if config.fixed_segment_len is not None:
+        segments = fixed_length_segments(clip.n_frames, config.fixed_segment_len)
+    else:
+        segments = detect_segments(
+            clip.frames, threshold=config.segment_threshold,
+            min_length=config.min_segment_len,
+            max_length=config.max_segment_len)
+    encoded = Encoder(config.codec).encode(clip.frames, segments, fps=clip.fps)
+    decoded = Decoder().decode_video(encoded)
+    return segments, encoded, decoded
+
+
+def build_package(clip: VideoClip, config: ServerConfig | None = None) -> DcsrPackage:
+    """Run the full server pipeline on ``clip``."""
+    config = config or ServerConfig()
+    segments, encoded, decoded = prepare_video(clip, config)
+
+    # I-frame training pairs: the decoded LQ I frame (network input) and the
+    # pristine original (ground truth).
+    i_indices = [seg.start for seg in segments]
+    lq_i = np.stack([yuv420_to_rgb(decoded.frames[i]) for i in i_indices])
+    hr_i = np.stack([clip.frames[i] for i in i_indices])
+
+    # Feature extraction: VAE trained on this video's I frames (HR side —
+    # the server has it), encoder mean as the feature.
+    vae = ConvVAE(latent_dim=config.vae_latent_dim,
+                  input_size=config.vae_input_size, seed=config.seed)
+    from ..features import frames_to_batch
+    thumbs = frames_to_batch(hr_i, config.vae_input_size)
+    train_vae(vae, thumbs, config.vae_train)
+    features = extract_features(vae, hr_i)
+
+    # Constrained K selection (Eq. 2-3).
+    big_size = EDSR(config.big_config).size_bytes()
+    min_size = EDSR(config.micro_config).size_bytes()
+    k_budget = max_k_for_budget(big_size, min_size)
+    if config.k_override is not None:
+        from ..clustering import global_kmeans
+        k = min(config.k_override, len(segments))
+        result = global_kmeans(features, k)
+        selection = KSelection(k=k, scores={}, k_max=k_budget, result=result)
+    else:
+        selection = select_k(features, k_budget)
+    labels = selection.result.labels
+
+    # One micro model per cluster, trained on the cluster's I frames only.
+    models: dict[int, EDSR] = {}
+    for label in sorted(set(int(l) for l in labels)):
+        member = labels == label
+        model = EDSR(config.micro_config, seed=config.seed + int(label))
+        train_sr(model, lq_i[member], hr_i[member], config.sr_train)
+        models[int(label)] = model
+
+    manifest = VideoManifest(
+        video_name=clip.name, width=clip.width, height=clip.height,
+        fps=clip.fps, crf=config.codec.crf,
+        segments=[
+            SegmentRecord(index=seg.index, start=seg.start,
+                          n_frames=seg.n_frames,
+                          model_label=int(labels[i]))
+            for i, seg in enumerate(segments)
+        ],
+        model_sizes={label: model.size_bytes()
+                     for label, model in models.items()},
+    )
+    package = DcsrPackage(manifest=manifest, encoded=encoded, models=models,
+                          features=features, selection=selection, vae=vae,
+                          segments=segments, decoded_low=decoded)
+    if config.validate_in_loop:
+        package.manifest.enhance_in_loop = _validate_in_loop(package, clip)
+    return package
+
+
+def _validate_in_loop(package: DcsrPackage, clip: VideoClip) -> bool:
+    """Server-side quality validation of in-loop enhancement.
+
+    Simulates both client modes against the pristine original and keeps
+    in-loop propagation only when it wins: on high-motion content the
+    motion-compensated enhancement delta can land in the wrong place and
+    drag P/B frames below the plain decode (cf. NEMO's per-anchor quality
+    validation).  Display-only enhancement is the drift-free floor — it can
+    only improve the I frames it touches.
+    """
+    from .client import DcsrClient
+
+    scores = {}
+    for in_loop in (True, False):
+        package.manifest.enhance_in_loop = in_loop
+        result = DcsrClient(package).play(clip.frames)
+        scores[in_loop] = result.mean_psnr
+    return scores[True] >= scores[False]

@@ -1,0 +1,20 @@
+"""I-frame feature extraction (Section 3.1.1): a convolutional VAE whose
+encoder mean is the clustering feature."""
+
+from .trainer import (
+    VaeHistory,
+    VaeTrainConfig,
+    extract_features,
+    frames_to_batch,
+    train_vae,
+)
+from .vae import ConvVAE
+
+__all__ = [
+    "ConvVAE",
+    "VaeTrainConfig",
+    "VaeHistory",
+    "train_vae",
+    "frames_to_batch",
+    "extract_features",
+]

@@ -1,0 +1,196 @@
+"""Stateless numerical primitives shared by the layers.
+
+All image tensors use the NCHW layout: ``(batch, channels, height, width)``.
+
+The convolution here is implemented with ``sliding_window_view`` plus
+``tensordot`` in the forward pass, and with the classic "full convolution of
+the (stride-dilated) output gradient with the flipped kernel" in the backward
+pass.  Everything is fully vectorised; there are no per-pixel Python loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = [
+    "pad2d",
+    "unpad2d",
+    "conv2d_forward",
+    "conv2d_backward",
+    "conv_output_size",
+    "pixel_shuffle",
+    "pixel_unshuffle",
+    "avg_pool2d_forward",
+    "avg_pool2d_backward",
+    "nearest_upsample",
+    "nearest_downsample_grad",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial size of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output size is non-positive: size={size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def pad2d(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two trailing (spatial) axes symmetrically."""
+    if padding == 0:
+        return x
+    pad_spec = [(0, 0)] * (x.ndim - 2) + [(padding, padding), (padding, padding)]
+    return np.pad(x, pad_spec)
+
+
+def unpad2d(x: np.ndarray, padding: int) -> np.ndarray:
+    """Inverse of :func:`pad2d`: crop the two trailing axes."""
+    if padding == 0:
+        return x
+    return x[..., padding:-padding, padding:-padding]
+
+
+def _windows(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Strided sliding windows of ``x`` (N, C, H, W) -> (N, C, OH, OW, kh, kw)."""
+    win = sliding_window_view(x, (kh, kw), axis=(2, 3))
+    return win[:, :, ::stride, ::stride]
+
+
+def conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None,
+    stride: int = 1, padding: int = 0,
+) -> np.ndarray:
+    """2-D cross-correlation.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, Cin, H, W)``.
+    weight:
+        Kernel of shape ``(Cout, Cin, KH, KW)``.
+    bias:
+        Optional per-output-channel bias of shape ``(Cout,)``.
+    """
+    cout, cin, kh, kw = weight.shape
+    if x.shape[1] != cin:
+        raise ValueError(f"input has {x.shape[1]} channels, kernel expects {cin}")
+    xp = pad2d(x, padding)
+    win = _windows(xp, kh, kw, stride)  # (N, Cin, OH, OW, KH, KW)
+    # Contract over (Cin, KH, KW).
+    out = np.tensordot(win, weight, axes=([1, 4, 5], [1, 2, 3]))
+    # tensordot leaves (N, OH, OW, Cout): move channels forward.
+    out = np.ascontiguousarray(out.transpose(0, 3, 1, 2))
+    if bias is not None:
+        out += bias[None, :, None, None]
+    return out
+
+
+def _dilate(grad: np.ndarray, stride: int) -> np.ndarray:
+    """Insert ``stride - 1`` zeros between spatial elements of ``grad``."""
+    if stride == 1:
+        return grad
+    n, c, h, w = grad.shape
+    out = np.zeros((n, c, (h - 1) * stride + 1, (w - 1) * stride + 1),
+                   dtype=grad.dtype)
+    out[:, :, ::stride, ::stride] = grad
+    return out
+
+
+def conv2d_backward(
+    x: np.ndarray, weight: np.ndarray, grad_out: np.ndarray,
+    stride: int = 1, padding: int = 0, need_input_grad: bool = True,
+) -> tuple[np.ndarray | None, np.ndarray, np.ndarray]:
+    """Gradients of :func:`conv2d_forward`.
+
+    Returns ``(grad_x, grad_weight, grad_bias)``; ``grad_x`` is ``None`` when
+    ``need_input_grad`` is false (first layer of a network).
+    """
+    cout, cin, kh, kw = weight.shape
+    xp = pad2d(x, padding)
+    win = _windows(xp, kh, kw, stride)  # (N, Cin, OH, OW, KH, KW)
+
+    # d L / d W: correlate input windows with the output gradient.
+    grad_w = np.tensordot(grad_out, win, axes=([0, 2, 3], [0, 2, 3]))
+    # -> (Cout, Cin, KH, KW) already in kernel layout.
+    grad_b = grad_out.sum(axis=(0, 2, 3))
+
+    grad_x = None
+    if need_input_grad:
+        # Full convolution of the stride-dilated output gradient with the
+        # spatially flipped kernel, channels transposed.
+        gd = _dilate(grad_out, stride)
+        w_flip = weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)  # (Cin, Cout, KH, KW)
+        gp = pad2d(gd, 0)
+        gp = np.pad(gp, [(0, 0), (0, 0), (kh - 1, kh - 1), (kw - 1, kw - 1)])
+        gwin = _windows(gp, kh, kw, 1)  # (N, Cout, H', W', KH, KW)
+        gx_full = np.tensordot(gwin, w_flip, axes=([1, 4, 5], [1, 2, 3]))
+        gx_full = gx_full.transpose(0, 3, 1, 2)  # (N, Cin, H', W')
+        # Trim to the padded-input size (the dilated full conv can fall short
+        # of covering the last rows/cols the kernel never reached), then crop
+        # the padding.
+        ph, pw = xp.shape[2], xp.shape[3]
+        gx = np.zeros((x.shape[0], cin, ph, pw), dtype=grad_out.dtype)
+        gh = min(ph, gx_full.shape[2])
+        gw = min(pw, gx_full.shape[3])
+        gx[:, :, :gh, :gw] = gx_full[:, :, :gh, :gw]
+        grad_x = unpad2d(gx, padding)
+        grad_x = np.ascontiguousarray(grad_x)
+
+    return grad_x, np.ascontiguousarray(grad_w), grad_b
+
+
+def pixel_shuffle(x: np.ndarray, scale: int) -> np.ndarray:
+    """Rearrange ``(N, C*r^2, H, W)`` to ``(N, C, H*r, W*r)`` (sub-pixel conv)."""
+    n, c, h, w = x.shape
+    r = scale
+    if c % (r * r) != 0:
+        raise ValueError(f"channels {c} not divisible by scale^2 = {r * r}")
+    cout = c // (r * r)
+    x = x.reshape(n, cout, r, r, h, w)
+    x = x.transpose(0, 1, 4, 2, 5, 3)  # (N, Cout, H, r, W, r)
+    return np.ascontiguousarray(x.reshape(n, cout, h * r, w * r))
+
+
+def pixel_unshuffle(x: np.ndarray, scale: int) -> np.ndarray:
+    """Inverse of :func:`pixel_shuffle`."""
+    n, c, hr, wr = x.shape
+    r = scale
+    if hr % r != 0 or wr % r != 0:
+        raise ValueError(f"spatial dims ({hr}, {wr}) not divisible by scale {r}")
+    h, w = hr // r, wr // r
+    x = x.reshape(n, c, h, r, w, r)
+    x = x.transpose(0, 1, 3, 5, 2, 4)  # (N, C, r, r, H, W)
+    return np.ascontiguousarray(x.reshape(n, c * r * r, h, w))
+
+
+def avg_pool2d_forward(x: np.ndarray, kernel: int) -> np.ndarray:
+    """Non-overlapping average pooling (stride == kernel)."""
+    n, c, h, w = x.shape
+    if h % kernel != 0 or w % kernel != 0:
+        raise ValueError(f"spatial dims ({h}, {w}) not divisible by pool {kernel}")
+    x = x.reshape(n, c, h // kernel, kernel, w // kernel, kernel)
+    return x.mean(axis=(3, 5))
+
+
+def avg_pool2d_backward(grad_out: np.ndarray, kernel: int) -> np.ndarray:
+    """Backward of :func:`avg_pool2d_forward`: spread gradient uniformly."""
+    scale = 1.0 / (kernel * kernel)
+    g = np.repeat(np.repeat(grad_out, kernel, axis=2), kernel, axis=3)
+    return g * scale
+
+
+def nearest_upsample(x: np.ndarray, scale: int) -> np.ndarray:
+    """Nearest-neighbour upsampling of the two trailing axes."""
+    return np.repeat(np.repeat(x, scale, axis=-2), scale, axis=-1)
+
+
+def nearest_downsample_grad(grad_out: np.ndarray, scale: int) -> np.ndarray:
+    """Backward of :func:`nearest_upsample`: sum each scale x scale block."""
+    n, c, hr, wr = grad_out.shape
+    h, w = hr // scale, wr // scale
+    g = grad_out.reshape(n, c, h, scale, w, scale)
+    return g.sum(axis=(3, 5))

@@ -1,0 +1,42 @@
+"""Weight initialisers.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so model
+construction is deterministic and reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["he_normal", "xavier_uniform", "zeros", "fan_in_out"]
+
+
+def fan_in_out(shape: tuple) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and conv kernel shapes.
+
+    Dense weights are ``(in, out)``; conv kernels are ``(Cout, Cin, KH, KW)``.
+    """
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def he_normal(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """He-normal initialisation (suited to ReLU networks such as EDSR)."""
+    fan_in, _ = fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialisation (used for the VAE's tanh/sigmoid heads)."""
+    fan_in, fan_out = fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)

@@ -1,0 +1,61 @@
+"""Parameter container used by all trainable layers.
+
+The framework is deliberately layer-based rather than tape-based: every layer
+implements an explicit ``forward`` and ``backward``, and trainable state lives
+in :class:`Parameter` objects that pair a value array with its gradient
+accumulator.  This keeps the training loop easy to reason about and easy to
+verify with numerical gradient checks (see :mod:`repro.nn.gradcheck`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable array with a gradient accumulator.
+
+    Parameters
+    ----------
+    data:
+        Initial value.  Stored as ``float32`` (the dtype used throughout the
+        framework; it also determines serialized model size).
+    name:
+        Optional human-readable name used in state dicts and error messages.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements."""
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size in bytes (float32)."""
+        return int(self.data.size) * 4
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the accumulator (shape-checked)."""
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name!r} shape {self.data.shape}"
+            )
+        self.grad += grad
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"

@@ -1,0 +1,42 @@
+"""Bicubic upscaling baseline (the non-neural comparison point)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..video.sampling import upscale
+
+__all__ = ["BicubicSR"]
+
+
+class BicubicSR:
+    """Baseline enhancer with the same interface as :class:`~repro.sr.EDSR`.
+
+    With ``scale = 1`` it is the identity — i.e. the paper's "LOW" curve
+    (watch the decoded low-quality video unmodified).
+    """
+
+    def __init__(self, scale: int = 1):
+        if scale < 1:
+            raise ValueError("scale must be >= 1")
+        self._scale = int(scale)
+
+    @property
+    def scale(self) -> int:
+        return self._scale
+
+    def size_bytes(self) -> int:
+        """Nothing to download."""
+        return 0
+
+    def enhance(self, rgb: np.ndarray) -> np.ndarray:
+        if rgb.ndim != 3 or rgb.shape[2] != 3:
+            raise ValueError(f"expected (H, W, 3) RGB frame, got {rgb.shape}")
+        if self._scale == 1:
+            return np.asarray(rgb, dtype=np.float32)
+        return upscale(rgb, self._scale)
+
+    def enhance_batch(self, frames: np.ndarray) -> np.ndarray:
+        if frames.ndim != 4 or frames.shape[3] != 3:
+            raise ValueError(f"expected (N, H, W, 3) frames, got {frames.shape}")
+        return np.stack([self.enhance(f) for f in frames])

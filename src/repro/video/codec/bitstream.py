@@ -1,0 +1,83 @@
+"""Bit-level writer/reader for the codec bitstream.
+
+The encoder produces a real byte string that the decoder parses back, so
+compressed segment sizes used in the bandwidth experiments (Figure 10) are
+measured, not estimated.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Append-only MSB-first bit buffer."""
+
+    def __init__(self):
+        self._bytes = bytearray()
+        self._acc = 0
+        self._n_acc = 0
+
+    def write_bit(self, bit: int) -> None:
+        self._acc = (self._acc << 1) | (bit & 1)
+        self._n_acc += 1
+        if self._n_acc == 8:
+            self._bytes.append(self._acc)
+            self._acc = 0
+            self._n_acc = 0
+
+    def write_bits(self, value: int, n_bits: int) -> None:
+        """Write the ``n_bits`` low bits of ``value``, MSB first."""
+        if n_bits < 0:
+            raise ValueError("n_bits must be non-negative")
+        if value < 0 or (n_bits < 64 and value >> n_bits):
+            raise ValueError(f"value {value} does not fit in {n_bits} bits")
+        for shift in range(n_bits - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_uint(self, value: int, n_bits: int = 32) -> None:
+        """Fixed-width unsigned integer."""
+        self.write_bits(value, n_bits)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._bytes) * 8 + self._n_acc
+
+    def getvalue(self) -> bytes:
+        """Byte-align (zero padding) and return the buffer."""
+        out = bytearray(self._bytes)
+        if self._n_acc:
+            out.append(self._acc << (8 - self._n_acc))
+        return bytes(out)
+
+
+class BitReader:
+    """MSB-first bit reader over a byte string."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0  # bit position
+
+    def read_bit(self) -> int:
+        byte_idx, bit_idx = divmod(self._pos, 8)
+        if byte_idx >= len(self._data):
+            raise EOFError("bitstream exhausted")
+        self._pos += 1
+        return (self._data[byte_idx] >> (7 - bit_idx)) & 1
+
+    def read_bits(self, n_bits: int) -> int:
+        value = 0
+        for _ in range(n_bits):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_uint(self, n_bits: int = 32) -> int:
+        return self.read_bits(n_bits)
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    @property
+    def bit_position(self) -> int:
+        return self._pos

@@ -1,0 +1,228 @@
+"""Video decoder with a decoded-picture buffer and an I-frame enhancement hook.
+
+This is the integration point of client-side dcSR (Figure 6): after an I
+frame is reconstructed into the DPB, an optional ``i_frame_hook`` is invoked
+with the YUV frame.  The (possibly super-resolved) frame the hook returns is
+stored in the DPB and used as the reference for all dependent P and B
+frames, so the enhancement propagates through the GOP exactly as the paper
+describes.  NEMO's "SR only on key frames" uses the same hook; NAS-style
+"SR on every frame" is applied after decoding and needs no hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..frame import YuvFrame
+from .bitstream import BitReader
+from .encoder import EncodedSegment, EncodedVideo, _deblock_frame, _predict_from_refs
+from .entropy import read_se, read_ue
+from .motion import MB
+from .quant import qp_for_frame_type
+from .residual import decode_mb_residual, decode_plane_intra
+
+__all__ = ["DecodedFrame", "DecodedVideo", "Decoder", "IFrameHook"]
+
+#: Hook signature: ``(frame, display_index) -> enhanced frame``.
+IFrameHook = Callable[[YuvFrame, int], YuvFrame]
+
+#: Anchor hook signature: ``(frame, display_index, frame_type)`` for every
+#: I *and* P frame; return the enhanced frame, or ``None`` to leave it
+#: untouched.  This is the NEMO-style "enhance selected anchors" interface.
+AnchorHook = Callable[[YuvFrame, int, str], "YuvFrame | None"]
+
+_TYPE_FROM_CODE = {0: "I", 1: "P", 2: "B"}
+
+
+@dataclass(frozen=True)
+class DecodedFrame:
+    """One decoded frame with its coding metadata."""
+
+    display: int
+    ftype: str
+    frame: YuvFrame
+    n_bits: int
+
+
+@dataclass
+class DecodedVideo:
+    """Decode result in display order."""
+
+    width: int
+    height: int
+    fps: float
+    frames: list[YuvFrame] = field(default_factory=list)
+    frame_types: list[str] = field(default_factory=list)
+    frame_bits: list[int] = field(default_factory=list)
+    hook_invocations: int = 0
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def i_frame_indices(self) -> list[int]:
+        return [i for i, t in enumerate(self.frame_types) if t == "I"]
+
+
+class Decoder:
+    """Decode segment bitstreams produced by :class:`~.encoder.Encoder`."""
+
+    def __init__(self, i_frame_hook: IFrameHook | None = None,
+                 anchor_hook: AnchorHook | None = None,
+                 hook_display_only: bool = False):
+        """``hook_display_only`` keeps the *unenhanced* frame in the DPB and
+        only swaps the displayed frame — the drift-free fallback a server
+        selects when in-loop propagation does not pay off on a video."""
+        if i_frame_hook is not None and anchor_hook is not None:
+            raise ValueError(
+                "pass either i_frame_hook (dcSR: I frames only) or "
+                "anchor_hook (NEMO-style: any I/P anchor), not both")
+        self.i_frame_hook = i_frame_hook
+        self.anchor_hook = anchor_hook
+        self.hook_display_only = bool(hook_display_only)
+        self._hook_invocations = 0
+
+    def decode_video(self, encoded: EncodedVideo) -> DecodedVideo:
+        """Decode all segments into display order."""
+        self._hook_invocations = 0
+        by_display: dict[int, DecodedFrame] = {}
+        for seg in encoded.segments:
+            for decoded in self.decode_segment(seg, encoded.width, encoded.height):
+                by_display[decoded.display] = decoded
+        result = DecodedVideo(width=encoded.width, height=encoded.height,
+                              fps=encoded.fps)
+        for display in sorted(by_display):
+            item = by_display[display]
+            result.frames.append(item.frame)
+            result.frame_types.append(item.ftype)
+            result.frame_bits.append(item.n_bits)
+        result.hook_invocations = self._hook_invocations
+        return result
+
+    def decode_segment(
+        self, segment: EncodedSegment, width: int, height: int,
+    ) -> list[DecodedFrame]:
+        """Decode one closed-GOP segment (frames returned in decode order)."""
+        if height % MB or width % MB:
+            raise ValueError(f"frame size {(height, width)} must be multiples of {MB}")
+        reader = BitReader(segment.payload)
+        qp = reader.read_uint(8)
+        flags = reader.read_uint(8)
+        deblock = bool(flags & 1)
+        half_pel = bool(flags & 2)
+        n_frames = read_ue(reader)
+        if n_frames != segment.n_frames:
+            raise ValueError(
+                f"segment {segment.index}: header says {n_frames} frames, "
+                f"metadata says {segment.n_frames}"
+            )
+
+        dpb: dict[int, YuvFrame] = {}
+        out: list[DecodedFrame] = []
+        for _ in range(n_frames):
+            bits_before = reader.bit_position
+            display, ftype, frame = self._decode_frame(
+                reader, segment.start, width, height, qp, dpb, half_pel)
+            if deblock:
+                frame = _deblock_frame(frame, qp_for_frame_type(qp, ftype))
+            reference = frame  # what dependent P/B frames will predict from
+            if ftype == "I" and self.i_frame_hook is not None:
+                frame = self._apply_hook(frame, display)
+            if ftype in ("I", "P") and self.anchor_hook is not None:
+                enhanced = self.anchor_hook(frame, display, ftype)
+                if enhanced is not None:
+                    frame = self._check_enhanced(enhanced, frame)
+                    self._hook_invocations += 1
+            if ftype in ("I", "P"):
+                dpb[display] = reference if self.hook_display_only else frame
+            out.append(DecodedFrame(display=display, ftype=ftype, frame=frame,
+                                    n_bits=reader.bit_position - bits_before))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _apply_hook(self, frame: YuvFrame, display: int) -> YuvFrame:
+        enhanced = self.i_frame_hook(frame, display)
+        result = self._check_enhanced(enhanced, frame)
+        self._hook_invocations += 1
+        return result
+
+    @staticmethod
+    def _check_enhanced(enhanced, original: YuvFrame) -> YuvFrame:
+        if not isinstance(enhanced, YuvFrame):
+            raise TypeError("enhancement hook must return a YuvFrame")
+        if enhanced.size != original.size:
+            raise ValueError(
+                f"enhancement hook changed frame size from {original.size} "
+                f"to {enhanced.size}; in-loop enhancement must preserve size"
+            )
+        return enhanced
+
+    def _decode_frame(
+        self, reader: BitReader, seg_start: int, width: int, height: int,
+        qp: int, dpb: dict[int, YuvFrame], half_pel: bool = False,
+    ) -> tuple[int, str, YuvFrame]:
+        code = read_ue(reader)
+        if code not in _TYPE_FROM_CODE:
+            raise ValueError(f"corrupt stream: unknown frame type code {code}")
+        ftype = _TYPE_FROM_CODE[code]
+        display = seg_start + read_ue(reader)
+        qp = qp_for_frame_type(qp, ftype)
+
+        if ftype == "I":
+            y = decode_plane_intra(reader, height, width, qp)
+            u = decode_plane_intra(reader, height // 2, width // 2, qp)
+            v = decode_plane_intra(reader, height // 2, width // 2, qp)
+            return display, ftype, YuvFrame(y, u, v)
+
+        if ftype == "P":
+            fwd = display - read_ue(reader)
+            refs = [self._ref(dpb, fwd)]
+        else:
+            fwd = display - read_ue(reader)
+            bwd = display + read_ue(reader)
+            refs = [self._ref(dpb, fwd), self._ref(dpb, bwd)]
+        frame = self._decode_inter(reader, refs, width, height, qp, half_pel)
+        return display, ftype, frame
+
+    @staticmethod
+    def _ref(dpb: dict[int, YuvFrame], display: int) -> YuvFrame:
+        if display not in dpb:
+            raise ValueError(
+                f"corrupt stream: reference frame {display} not in DPB")
+        return dpb[display]
+
+    def _decode_inter(
+        self, reader: BitReader, refs: list[YuvFrame], width: int, height: int,
+        qp: int, half_pel: bool = False,
+    ) -> YuvFrame:
+        rec_y = np.empty((height, width), dtype=np.float64)
+        rec_u = np.empty((height // 2, width // 2), dtype=np.float64)
+        rec_v = np.empty_like(rec_u)
+        half = MB // 2
+
+        for y0 in range(0, height, MB):
+            for x0 in range(0, width, MB):
+                if len(refs) == 2:
+                    mode = read_ue(reader)
+                    if mode not in (0, 1, 2):
+                        raise ValueError(f"corrupt stream: B-frame mode {mode}")
+                else:
+                    mode = 0
+                n_mvs = 2 if mode == 2 else 1
+                mvs = [(read_se(reader), read_se(reader)) for _ in range(n_mvs)]
+                pred_y, pred_u, pred_v = _predict_from_refs(
+                    refs, mode, mvs, y0, x0, half_pel=half_pel)
+                rl, ru, rv = decode_mb_residual(reader, MB, qp)
+                cy, cx = y0 // 2, x0 // 2
+                rec_y[y0:y0 + MB, x0:x0 + MB] = np.clip(pred_y + rl, 0, 255)
+                rec_u[cy:cy + half, cx:cx + half] = np.clip(pred_u + ru, 0, 255)
+                rec_v[cy:cy + half, cx:cx + half] = np.clip(pred_v + rv, 0, 255)
+
+        return YuvFrame(np.rint(rec_y).astype(np.uint8),
+                        np.rint(rec_u).astype(np.uint8),
+                        np.rint(rec_v).astype(np.uint8))

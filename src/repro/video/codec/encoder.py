@@ -1,0 +1,314 @@
+"""Video encoder.
+
+A closed-loop block codec with the H.264 structure dcSR relies on: segments
+are closed GOPs starting with an I frame; P frames are motion-compensated
+from the previous anchor; B frames predict from both surrounding anchors.
+The encoder reconstructs exactly what the decoder will, so prediction never
+drifts (until a client deliberately enhances I frames — which is the point
+of dcSR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..color import rgb_to_yuv420
+from ..frame import YuvFrame
+from ..segment import Segment
+from .bitstream import BitWriter
+from .deblock import deblock_plane
+from .entropy import write_se, write_ue
+from .gop import FramePlan, plan_segment
+from .motion import (MB, chroma_vector, chroma_vector_halfpel, compensate,
+                     compensate_halfpel, motion_search, motion_search_halfpel)
+from .quant import qp_for_frame_type, qp_from_crf
+from .residual import encode_mb_residual, encode_plane_intra
+
+__all__ = ["CodecConfig", "EncodedFrameInfo", "EncodedSegment",
+           "EncodedVideo", "Encoder", "FRAME_TYPE_CODES"]
+
+FRAME_TYPE_CODES = {"I": 0, "P": 1, "B": 2}
+
+
+@dataclass(frozen=True)
+class CodecConfig:
+    """Encoder settings.
+
+    ``crf`` follows the FFMPEG 0-51 scale (51 = worst quality; the paper's
+    low-quality inputs use 51).  ``n_b_frames`` is the number of B frames
+    between anchors; ``extra_i_interval`` forces additional I frames within
+    segments (the multiple-inferences-per-segment setting of Figure 8).
+    """
+
+    crf: int = 30
+    n_b_frames: int = 2
+    search_range: int = 7
+    extra_i_interval: int | None = None
+    deblock: bool = True
+    half_pel: bool = True
+
+    def __post_init__(self):
+        qp_from_crf(self.crf)  # validates range
+        if self.n_b_frames < 0:
+            raise ValueError("n_b_frames must be >= 0")
+        if self.search_range < 1:
+            raise ValueError("search_range must be >= 1")
+
+
+@dataclass(frozen=True)
+class EncodedFrameInfo:
+    """Per-frame accounting: display index, type, and exact coded bits."""
+
+    display: int
+    ftype: str
+    n_bits: int
+
+
+@dataclass
+class EncodedSegment:
+    """One segment's coded payload plus bookkeeping."""
+
+    index: int
+    start: int
+    n_frames: int
+    payload: bytes
+    frames: list[EncodedFrameInfo] = field(default_factory=list)
+
+    @property
+    def n_bytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def i_frame_displays(self) -> list[int]:
+        return [f.display for f in self.frames if f.ftype == "I"]
+
+
+@dataclass
+class EncodedVideo:
+    """A fully encoded video: per-segment payloads and metadata."""
+
+    width: int
+    height: int
+    fps: float
+    config: CodecConfig
+    segments: list[EncodedSegment] = field(default_factory=list)
+
+    @property
+    def n_frames(self) -> int:
+        return sum(s.n_frames for s in self.segments)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.n_bytes for s in self.segments)
+
+    def bits_by_type(self) -> dict[str, int]:
+        """Total coded bits per frame type (I frames dominate — Section 3.1.1)."""
+        totals = {"I": 0, "P": 0, "B": 0}
+        for seg in self.segments:
+            for info in seg.frames:
+                totals[info.ftype] += info.n_bits
+        return totals
+
+    def frame_types(self) -> list[str]:
+        """Frame types in display order."""
+        out: dict[int, str] = {}
+        for seg in self.segments:
+            for info in seg.frames:
+                out[info.display] = info.ftype
+        return [out[i] for i in sorted(out)]
+
+
+class Encoder:
+    """Encode RGB float videos into segment bitstreams."""
+
+    def __init__(self, config: CodecConfig | None = None):
+        self.config = config or CodecConfig()
+
+    def encode(
+        self, frames_rgb: np.ndarray, segments: list[Segment], fps: float = 30.0,
+    ) -> EncodedVideo:
+        """Encode ``(T, H, W, 3)`` RGB frames split into ``segments``."""
+        if frames_rgb.ndim != 4:
+            raise ValueError(f"expected (T, H, W, 3) frames, got {frames_rgb.shape}")
+        n, height, width = frames_rgb.shape[:3]
+        if height % MB or width % MB:
+            raise ValueError(f"frame size {(height, width)} must be multiples of {MB}")
+        covered = sorted((s.start, s.end) for s in segments)
+        if covered[0][0] != 0 or covered[-1][1] != n or any(
+            a[1] != b[0] for a, b in zip(covered[:-1], covered[1:])
+        ):
+            raise ValueError("segments must exactly tile the video")
+
+        yuv = [rgb_to_yuv420(frame) for frame in frames_rgb]
+        video = EncodedVideo(width=width, height=height, fps=fps,
+                             config=self.config)
+        for seg in sorted(segments, key=lambda s: s.start):
+            video.segments.append(self._encode_segment(yuv, seg))
+        return video
+
+    # ------------------------------------------------------------------
+
+    def _encode_segment(self, yuv: list[YuvFrame], seg: Segment) -> EncodedSegment:
+        cfg = self.config
+        qp = qp_from_crf(cfg.crf)
+        plans = plan_segment(seg.start, seg.n_frames, cfg.n_b_frames,
+                             cfg.extra_i_interval)
+        writer = BitWriter()
+        writer.write_uint(qp, 8)
+        flags = (1 if cfg.deblock else 0) | (2 if cfg.half_pel else 0)
+        writer.write_uint(flags, 8)
+        write_ue(writer, seg.n_frames)
+
+        dpb: dict[int, YuvFrame] = {}
+        infos: list[EncodedFrameInfo] = []
+        for plan in plans:
+            bits_before = writer.bit_length
+            recon = self._encode_frame(writer, yuv[plan.display], plan,
+                                       seg.start, dpb, qp)
+            if cfg.deblock:
+                recon = _deblock_frame(recon, qp_for_frame_type(qp, plan.ftype))
+            if plan.ftype in ("I", "P"):
+                dpb[plan.display] = recon
+            infos.append(EncodedFrameInfo(
+                display=plan.display, ftype=plan.ftype,
+                n_bits=writer.bit_length - bits_before,
+            ))
+        infos.sort(key=lambda f: f.display)
+        return EncodedSegment(index=seg.index, start=seg.start,
+                              n_frames=seg.n_frames, payload=writer.getvalue(),
+                              frames=infos)
+
+    def _encode_frame(
+        self, writer: BitWriter, frame: YuvFrame, plan: FramePlan,
+        seg_start: int, dpb: dict[int, YuvFrame], qp: int,
+    ) -> YuvFrame:
+        write_ue(writer, FRAME_TYPE_CODES[plan.ftype])
+        write_ue(writer, plan.display - seg_start)
+        qp = qp_for_frame_type(qp, plan.ftype)
+        if plan.ftype == "I":
+            y = encode_plane_intra(writer, frame.y, qp)
+            u = encode_plane_intra(writer, frame.u, qp)
+            v = encode_plane_intra(writer, frame.v, qp)
+            return YuvFrame(y, u, v)
+        if plan.ftype == "P":
+            write_ue(writer, plan.display - plan.fwd_ref)
+            return self._encode_inter(writer, frame, [dpb[plan.fwd_ref]], qp)
+        # B frame
+        write_ue(writer, plan.display - plan.fwd_ref)
+        write_ue(writer, plan.bwd_ref - plan.display)
+        return self._encode_inter(
+            writer, frame, [dpb[plan.fwd_ref], dpb[plan.bwd_ref]], qp)
+
+    def _encode_inter(
+        self, writer: BitWriter, frame: YuvFrame, refs: list[YuvFrame], qp: int,
+    ) -> YuvFrame:
+        """Motion-compensated coding against one (P) or two (B) references."""
+        height, width = frame.size
+        rec_y = np.empty((height, width), dtype=np.float64)
+        rec_u = np.empty((height // 2, width // 2), dtype=np.float64)
+        rec_v = np.empty_like(rec_u)
+        orig_y = frame.y.astype(np.float64)
+        orig_u = frame.u.astype(np.float64)
+        orig_v = frame.v.astype(np.float64)
+
+        for y0 in range(0, height, MB):
+            for x0 in range(0, width, MB):
+                pred_y, pred_u, pred_v = self._predict_mb(
+                    writer, frame, refs, y0, x0)
+                cy, cx, half = y0 // 2, x0 // 2, MB // 2
+                res_y = orig_y[y0:y0 + MB, x0:x0 + MB] - pred_y
+                res_u = orig_u[cy:cy + half, cx:cx + half] - pred_u
+                res_v = orig_v[cy:cy + half, cx:cx + half] - pred_v
+                rl, ru, rv = encode_mb_residual(writer, res_y, res_u, res_v, qp)
+                rec_y[y0:y0 + MB, x0:x0 + MB] = np.clip(pred_y + rl, 0, 255)
+                rec_u[cy:cy + half, cx:cx + half] = np.clip(pred_u + ru, 0, 255)
+                rec_v[cy:cy + half, cx:cx + half] = np.clip(pred_v + rv, 0, 255)
+
+        return YuvFrame(np.rint(rec_y).astype(np.uint8),
+                        np.rint(rec_u).astype(np.uint8),
+                        np.rint(rec_v).astype(np.uint8))
+
+    def _predict_mb(
+        self, writer: BitWriter, frame: YuvFrame, refs: list[YuvFrame],
+        y0: int, x0: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Choose the prediction mode for one macroblock and write it.
+
+        With half-pel enabled, motion vectors are in half-pel units; if the
+        refined vector's chroma compensation would leave the frame (a rare
+        alignment corner), the vector falls back to its integer-pel part.
+        """
+        search = self.config.search_range
+        half_pel = self.config.half_pel
+        searcher = motion_search_halfpel if half_pel else motion_search
+        candidates = []  # (sad, mode, mvs)
+        for ref_idx, ref in enumerate(refs):
+            dy, dx, sad = searcher(ref.y, frame.y, y0, x0, search)
+            candidates.append((sad, ref_idx, [(dy, dx)]))
+        if len(refs) == 2:
+            # Bidirectional: average the two best unidirectional predictions.
+            (_, _, mv_f), (_, _, mv_b) = candidates[0], candidates[1]
+            comp = compensate_halfpel if half_pel else compensate
+            pred_bi = 0.5 * (
+                comp(refs[0].y, y0, x0, *mv_f[0], MB, MB)
+                + comp(refs[1].y, y0, x0, *mv_b[0], MB, MB))
+            sad_bi = float(np.abs(
+                frame.y[y0:y0 + MB, x0:x0 + MB].astype(np.float64) - pred_bi
+            ).sum())
+            candidates.append((sad_bi, 2, [mv_f[0], mv_b[0]]))
+
+        _, mode, mvs = min(candidates, key=lambda c: c[0])
+        try:
+            pred = _predict_from_refs(refs, mode, mvs, y0, x0,
+                                      half_pel=half_pel)
+        except ValueError:
+            # Chroma out of bounds at a half-pel corner: drop to integer pel.
+            mvs = [(dy & ~1, dx & ~1) for dy, dx in mvs]
+            pred = _predict_from_refs(refs, mode, mvs, y0, x0,
+                                      half_pel=half_pel)
+        if len(refs) == 2:
+            write_ue(writer, mode)  # 0 = fwd, 1 = bwd, 2 = bi
+        for dy, dx in mvs:
+            write_se(writer, dy)
+            write_se(writer, dx)
+        return pred
+
+
+def _predict_from_refs(
+    refs: list[YuvFrame], mode: int, mvs: list[tuple[int, int]],
+    y0: int, x0: int, half_pel: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build the (luma, u, v) prediction for a macroblock.
+
+    Shared with the decoder so both sides are bit-exact.  With ``half_pel``,
+    vectors are in half-pel units and bilinear interpolation applies.
+    """
+    half = MB // 2
+    cy, cx = y0 // 2, x0 // 2
+
+    def one(ref: YuvFrame, mv: tuple[int, int]):
+        dy, dx = mv
+        if half_pel:
+            cdy, cdx = chroma_vector_halfpel(dy, dx)
+            return (compensate_halfpel(ref.y, y0, x0, dy, dx, MB, MB),
+                    compensate_halfpel(ref.u, cy, cx, cdy, cdx, half, half),
+                    compensate_halfpel(ref.v, cy, cx, cdy, cdx, half, half))
+        cdy, cdx = chroma_vector(dy, dx)
+        return (compensate(ref.y, y0, x0, dy, dx, MB, MB),
+                compensate(ref.u, cy, cx, cdy, cdx, half, half),
+                compensate(ref.v, cy, cx, cdy, cdx, half, half))
+
+    if mode == 2:
+        py0, pu0, pv0 = one(refs[0], mvs[0])
+        py1, pu1, pv1 = one(refs[1], mvs[1])
+        return 0.5 * (py0 + py1), 0.5 * (pu0 + pu1), 0.5 * (pv0 + pv1)
+    return one(refs[mode], mvs[0])
+
+
+def _deblock_frame(frame: YuvFrame, qp: int) -> YuvFrame:
+    """Apply the in-loop deblocking filter to all three planes."""
+    return YuvFrame(deblock_plane(frame.y, qp),
+                    deblock_plane(frame.u, qp),
+                    deblock_plane(frame.v, qp))

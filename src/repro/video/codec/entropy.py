@@ -1,0 +1,119 @@
+"""Entropy coding: Exp-Golomb codes and run-level coefficient coding.
+
+H.264's CAVLC/CABAC are replaced by the simpler (but real and decodable)
+Exp-Golomb run-level scheme also used by H.264 for headers and by earlier
+codecs for coefficients.  What matters for the reproduction is that bits are
+actually spent in proportion to residual energy, so I frames cost more than
+P/B frames and higher CRF genuinely shrinks the stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitstream import BitReader, BitWriter
+
+__all__ = [
+    "write_ue",
+    "read_ue",
+    "write_se",
+    "read_se",
+    "zigzag_order",
+    "encode_coeff_block",
+    "decode_coeff_block",
+]
+
+
+def write_ue(writer: BitWriter, value: int) -> None:
+    """Unsigned Exp-Golomb code."""
+    if value < 0:
+        raise ValueError(f"ue(v) requires v >= 0, got {value}")
+    code = value + 1
+    n_bits = code.bit_length()
+    writer.write_bits(0, n_bits - 1)  # prefix zeros
+    writer.write_bits(code, n_bits)
+
+
+def read_ue(reader: BitReader) -> int:
+    zeros = 0
+    while reader.read_bit() == 0:
+        zeros += 1
+        if zeros > 64:
+            raise ValueError("corrupt Exp-Golomb code (prefix too long)")
+    value = 1
+    for _ in range(zeros):
+        value = (value << 1) | reader.read_bit()
+    return value - 1
+
+
+def write_se(writer: BitWriter, value: int) -> None:
+    """Signed Exp-Golomb code (H.264 mapping: 0, 1, -1, 2, -2, ...)."""
+    if value > 0:
+        write_ue(writer, 2 * value - 1)
+    else:
+        write_ue(writer, -2 * value)
+
+
+def read_se(reader: BitReader) -> int:
+    code = read_ue(reader)
+    magnitude = (code + 1) // 2
+    return magnitude if code % 2 == 1 else -magnitude
+
+
+def _build_zigzag(n: int) -> np.ndarray:
+    """Indices of the classic zigzag scan for an n x n block."""
+    order = sorted(
+        ((i, j) for i in range(n) for j in range(n)),
+        key=lambda ij: (ij[0] + ij[1],
+                        ij[1] if (ij[0] + ij[1]) % 2 == 0 else ij[0]),
+    )
+    flat = np.array([i * n + j for i, j in order], dtype=np.int64)
+    return flat
+
+
+_ZIGZAG_CACHE: dict[int, np.ndarray] = {}
+
+
+def zigzag_order(n: int = 8) -> np.ndarray:
+    """Flattened zigzag scan indices for an ``n x n`` block (cached)."""
+    if n not in _ZIGZAG_CACHE:
+        _ZIGZAG_CACHE[n] = _build_zigzag(n)
+    return _ZIGZAG_CACHE[n]
+
+
+def encode_coeff_block(writer: BitWriter, coeffs: np.ndarray) -> None:
+    """Encode one quantized coefficient block.
+
+    Format: ``ue(n_nonzero)`` then, for each nonzero coefficient in zigzag
+    order, ``ue(zero_run_before_it) se(level)``.
+    """
+    n = coeffs.shape[0]
+    if coeffs.shape != (n, n):
+        raise ValueError(f"expected square block, got {coeffs.shape}")
+    scan = coeffs.reshape(-1)[zigzag_order(n)].astype(np.int64)
+    nz_positions = np.nonzero(scan)[0]
+    write_ue(writer, len(nz_positions))
+    prev = -1
+    for pos in nz_positions:
+        write_ue(writer, int(pos - prev - 1))
+        write_se(writer, int(scan[pos]))
+        prev = pos
+
+
+def decode_coeff_block(reader: BitReader, n: int = 8) -> np.ndarray:
+    """Decode one block written by :func:`encode_coeff_block`."""
+    n_nonzero = read_ue(reader)
+    if n_nonzero > n * n:
+        raise ValueError(f"corrupt block: {n_nonzero} nonzeros in {n}x{n}")
+    scan = np.zeros(n * n, dtype=np.int64)
+    pos = -1
+    for _ in range(n_nonzero):
+        run = read_ue(reader)
+        level = read_se(reader)
+        pos += run + 1
+        if pos >= n * n:
+            raise ValueError("corrupt block: zigzag position out of range")
+        scan[pos] = level
+    block = np.zeros(n * n, dtype=np.int64)
+    block[zigzag_order(n)] = scan
+    return block.reshape(n, n)

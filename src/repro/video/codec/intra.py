@@ -1,0 +1,71 @@
+"""Intra prediction (I-frame coding).
+
+Implements the H.264-style spatial prediction modes DC, vertical, and
+horizontal on 8x8 blocks.  Blocks are coded in raster order and predict from
+already-reconstructed neighbours, exactly as a real intra encoder does, so
+the decoder can reproduce the prediction from its own reconstruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dct import BLOCK
+
+__all__ = ["MODE_DC", "MODE_V", "MODE_H", "INTRA_MODES", "predict_block",
+           "choose_mode"]
+
+MODE_DC = 0
+MODE_V = 1
+MODE_H = 2
+INTRA_MODES = (MODE_DC, MODE_V, MODE_H)
+
+_DEFAULT_DC = 128.0
+
+
+def predict_block(
+    recon: np.ndarray, by: int, bx: int, mode: int, block: int = BLOCK,
+) -> np.ndarray:
+    """Prediction for the block at block-coordinates ``(by, bx)``.
+
+    ``recon`` is the partially reconstructed plane (float); neighbours above
+    and to the left of the block are final by raster-order processing.
+    """
+    y0, x0 = by * block, bx * block
+    top = recon[y0 - 1, x0:x0 + block] if y0 > 0 else None
+    left = recon[y0:y0 + block, x0 - 1] if x0 > 0 else None
+
+    if mode == MODE_V:
+        if top is None:
+            return np.full((block, block), _DEFAULT_DC)
+        return np.tile(top, (block, 1)).astype(np.float64)
+    if mode == MODE_H:
+        if left is None:
+            return np.full((block, block), _DEFAULT_DC)
+        return np.tile(left[:, None], (1, block)).astype(np.float64)
+    if mode == MODE_DC:
+        parts = [p for p in (top, left) if p is not None]
+        if not parts:
+            return np.full((block, block), _DEFAULT_DC)
+        dc = float(np.mean(np.concatenate(parts)))
+        return np.full((block, block), dc)
+    raise ValueError(f"unknown intra mode {mode}")
+
+
+def choose_mode(
+    recon: np.ndarray, original: np.ndarray, by: int, bx: int,
+    block: int = BLOCK,
+) -> tuple[int, np.ndarray]:
+    """Pick the intra mode with the lowest SSD against the original block.
+
+    Returns ``(mode, prediction)``.
+    """
+    y0, x0 = by * block, bx * block
+    target = original[y0:y0 + block, x0:x0 + block].astype(np.float64)
+    best_mode, best_pred, best_cost = MODE_DC, None, np.inf
+    for mode in INTRA_MODES:
+        pred = predict_block(recon, by, bx, mode, block)
+        cost = float(np.sum((target - pred) ** 2))
+        if cost < best_cost:
+            best_mode, best_pred, best_cost = mode, pred, cost
+    return best_mode, best_pred

@@ -1,0 +1,87 @@
+"""Rate control: encode to a target size instead of a fixed CRF.
+
+Real encoders offer target-bitrate modes next to CRF; the bitrate ladders
+of ABR systems are usually built this way.  The controller runs a bisection
+over the integer CRF scale — each probe is a real encode, so the result is
+exact for the chosen CRF — and returns the best CRF whose output fits the
+byte budget (or the maximum CRF if even that overshoots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..segment import Segment
+from .encoder import CodecConfig, EncodedVideo, Encoder
+from .quant import MAX_CRF
+
+__all__ = ["RateControlResult", "encode_to_target_size", "bitrate_of"]
+
+
+@dataclass(frozen=True)
+class RateControlResult:
+    """Outcome of the CRF search."""
+
+    crf: int
+    encoded: EncodedVideo
+    target_bytes: int
+    probes: int
+
+    @property
+    def achieved_bytes(self) -> int:
+        return self.encoded.total_bytes
+
+    @property
+    def utilisation(self) -> float:
+        return self.achieved_bytes / self.target_bytes
+
+
+def bitrate_of(encoded: EncodedVideo) -> float:
+    """Average bitrate in bits/second."""
+    duration = encoded.n_frames / encoded.fps
+    return 8.0 * encoded.total_bytes / duration
+
+
+def encode_to_target_size(
+    frames: np.ndarray, segments: list[Segment], target_bytes: int,
+    base_config: CodecConfig | None = None, fps: float = 30.0,
+    min_crf: int = 0, max_crf: int = MAX_CRF,
+) -> RateControlResult:
+    """Find the best-quality CRF whose encode fits ``target_bytes``.
+
+    Bisection over CRF: compressed size is monotone non-increasing in CRF,
+    so the search needs at most ``log2(52) ~ 6`` probe encodes.  Returns the
+    smallest such CRF (best quality); if even ``max_crf`` overshoots the
+    budget, that encode is returned (with ``utilisation > 1``) rather than
+    failing, matching encoder behaviour.
+    """
+    if target_bytes <= 0:
+        raise ValueError("target_bytes must be positive")
+    if not 0 <= min_crf <= max_crf <= MAX_CRF:
+        raise ValueError(f"need 0 <= min_crf <= max_crf <= {MAX_CRF}")
+    base = base_config or CodecConfig()
+
+    def encode_at(crf: int) -> EncodedVideo:
+        return Encoder(replace(base, crf=crf)).encode(frames, segments,
+                                                      fps=fps)
+
+    probes = 0
+    lo, hi = min_crf, max_crf
+    best: tuple[int, EncodedVideo] | None = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        encoded = encode_at(mid)
+        probes += 1
+        if encoded.total_bytes <= target_bytes:
+            best = (mid, encoded)
+            hi = mid - 1      # try better quality (lower CRF)
+        else:
+            lo = mid + 1
+    if best is None:
+        encoded = encode_at(max_crf)
+        probes += 1
+        best = (max_crf, encoded)
+    return RateControlResult(crf=best[0], encoded=best[1],
+                             target_bytes=target_bytes, probes=probes)

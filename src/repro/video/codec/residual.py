@@ -1,0 +1,163 @@
+"""Residual transform coding shared by the encoder and decoder.
+
+Two layers:
+
+- whole-plane intra coding (I frames): raster 8x8 blocks, spatial
+  prediction, DCT, quantization, entropy coding, closed-loop reconstruction;
+- per-macroblock residual coding (P/B frames): the motion-compensated
+  residual of one macroblock (16x16 luma + two 8x8 chroma blocks) with a
+  skip flag when everything quantizes to zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitstream import BitReader, BitWriter
+from .dct import BLOCK, forward_dct, inverse_dct
+from .entropy import decode_coeff_block, encode_coeff_block, read_ue, write_ue
+from .intra import choose_mode, predict_block
+from .quant import dequantize, quantize
+
+__all__ = [
+    "encode_plane_intra",
+    "decode_plane_intra",
+    "encode_block_residual",
+    "decode_block_residual",
+    "encode_mb_residual",
+    "decode_mb_residual",
+]
+
+
+def encode_plane_intra(writer: BitWriter, plane: np.ndarray, qp: int) -> np.ndarray:
+    """Intra-code a full plane; returns the reconstructed plane (uint8)."""
+    h, w = plane.shape
+    if h % BLOCK or w % BLOCK:
+        raise ValueError(f"plane {(h, w)} not divisible by {BLOCK}")
+    original = plane.astype(np.float64)
+    recon = np.zeros((h, w), dtype=np.float64)
+    for by in range(h // BLOCK):
+        for bx in range(w // BLOCK):
+            mode, pred = choose_mode(recon, original, by, bx)
+            y0, x0 = by * BLOCK, bx * BLOCK
+            target = original[y0:y0 + BLOCK, x0:x0 + BLOCK]
+            levels = quantize(forward_dct(target - pred), qp)
+            write_ue(writer, mode)
+            encode_coeff_block(writer, levels)
+            rec = pred + inverse_dct(dequantize(levels, qp))
+            recon[y0:y0 + BLOCK, x0:x0 + BLOCK] = np.clip(rec, 0, 255)
+    return np.rint(recon).astype(np.uint8)
+
+
+def decode_plane_intra(reader: BitReader, height: int, width: int, qp: int) -> np.ndarray:
+    """Decode a plane written by :func:`encode_plane_intra`."""
+    recon = np.zeros((height, width), dtype=np.float64)
+    for by in range(height // BLOCK):
+        for bx in range(width // BLOCK):
+            mode = read_ue(reader)
+            levels = decode_coeff_block(reader, BLOCK)
+            pred = predict_block(recon, by, bx, mode)
+            rec = pred + inverse_dct(dequantize(levels, qp))
+            y0, x0 = by * BLOCK, bx * BLOCK
+            recon[y0:y0 + BLOCK, x0:x0 + BLOCK] = np.clip(rec, 0, 255)
+    return np.rint(recon).astype(np.uint8)
+
+
+def _blocks_of(residual: np.ndarray) -> list[np.ndarray]:
+    """Split a 16x16 or 8x8 residual into 8x8 blocks in raster order."""
+    h, w = residual.shape
+    out = []
+    for y0 in range(0, h, BLOCK):
+        for x0 in range(0, w, BLOCK):
+            out.append(residual[y0:y0 + BLOCK, x0:x0 + BLOCK])
+    return out
+
+
+def encode_block_residual(
+    writer: BitWriter, residual: np.ndarray, qp: int,
+) -> np.ndarray:
+    """Transform-code one residual array (any 8-divisible size).
+
+    Returns the reconstructed residual (float64).
+    """
+    recon = np.empty_like(residual, dtype=np.float64)
+    h, w = residual.shape
+    for y0 in range(0, h, BLOCK):
+        for x0 in range(0, w, BLOCK):
+            block = residual[y0:y0 + BLOCK, x0:x0 + BLOCK]
+            levels = quantize(forward_dct(block), qp)
+            encode_coeff_block(writer, levels)
+            recon[y0:y0 + BLOCK, x0:x0 + BLOCK] = inverse_dct(
+                dequantize(levels, qp))
+    return recon
+
+
+def decode_block_residual(
+    reader: BitReader, height: int, width: int, qp: int,
+) -> np.ndarray:
+    """Decode a residual written by :func:`encode_block_residual`."""
+    recon = np.empty((height, width), dtype=np.float64)
+    for y0 in range(0, height, BLOCK):
+        for x0 in range(0, width, BLOCK):
+            levels = decode_coeff_block(reader, BLOCK)
+            recon[y0:y0 + BLOCK, x0:x0 + BLOCK] = inverse_dct(
+                dequantize(levels, qp))
+    return recon
+
+
+def _quantize_blocks(residual: np.ndarray, qp: int) -> list[tuple[int, int, np.ndarray]]:
+    """Quantize every 8x8 block of a residual; returns (y0, x0, levels)."""
+    out = []
+    h, w = residual.shape
+    for y0 in range(0, h, BLOCK):
+        for x0 in range(0, w, BLOCK):
+            block = residual[y0:y0 + BLOCK, x0:x0 + BLOCK]
+            out.append((y0, x0, quantize(forward_dct(block), qp)))
+    return out
+
+
+def encode_mb_residual(
+    writer: BitWriter, luma_res: np.ndarray, u_res: np.ndarray,
+    v_res: np.ndarray, qp: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Code one macroblock's residual with a leading skip flag.
+
+    Returns the reconstructed residual triple ``(luma, u, v)``.
+    """
+    quantized = [
+        (res, _quantize_blocks(res, qp)) for res in (luma_res, u_res, v_res)
+    ]
+    skip = all(
+        not np.any(levels)
+        for _, blocks in quantized
+        for _, _, levels in blocks
+    )
+    writer.write_bit(1 if skip else 0)
+    if skip:
+        return (np.zeros_like(luma_res, dtype=np.float64),
+                np.zeros_like(u_res, dtype=np.float64),
+                np.zeros_like(v_res, dtype=np.float64))
+    recons = []
+    for res, blocks in quantized:
+        recon = np.empty_like(res, dtype=np.float64)
+        for y0, x0, levels in blocks:
+            encode_coeff_block(writer, levels)
+            recon[y0:y0 + BLOCK, x0:x0 + BLOCK] = inverse_dct(
+                dequantize(levels, qp))
+        recons.append(recon)
+    return recons[0], recons[1], recons[2]
+
+
+def decode_mb_residual(
+    reader: BitReader, mb: int, qp: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode a macroblock residual written by :func:`encode_mb_residual`."""
+    skip = reader.read_bit()
+    half = mb // 2
+    if skip:
+        return (np.zeros((mb, mb)), np.zeros((half, half)),
+                np.zeros((half, half)))
+    luma = decode_block_residual(reader, mb, mb, qp)
+    u = decode_block_residual(reader, half, half, qp)
+    v = decode_block_residual(reader, half, half, qp)
+    return luma, u, v

@@ -1,0 +1,267 @@
+"""End-to-end codec tests: round trips, rate-distortion, GOP semantics, and
+the I-frame enhancement hook."""
+
+import numpy as np
+import pytest
+
+from repro.video import (
+    Segment,
+    YuvFrame,
+    detect_segments,
+    fixed_length_segments,
+    make_video,
+    psnr_yuv,
+    rgb_to_yuv420,
+)
+from repro.video.codec import CodecConfig, DecodedVideo, Decoder, Encoder
+
+
+def _clip(duration=2.0, genre="sports", seed=1, size=(32, 48), fps=10):
+    return make_video("t", genre, seed=seed, size=size,
+                      duration_seconds=duration, fps=fps)
+
+
+def _encode(clip, crf=30, **kwargs):
+    segs = detect_segments(clip.frames)
+    return Encoder(CodecConfig(crf=crf, **kwargs)).encode(
+        clip.frames, segs, fps=clip.fps)
+
+
+class TestRoundTrip:
+    def test_frame_count_preserved(self):
+        clip = _clip()
+        decoded = Decoder().decode_video(_encode(clip))
+        assert decoded.n_frames == clip.n_frames
+
+    def test_deterministic_decode(self):
+        clip = _clip()
+        encoded = _encode(clip)
+        a = Decoder().decode_video(encoded)
+        b = Decoder().decode_video(encoded)
+        assert all(x == y for x, y in zip(a.frames, b.frames))
+
+    def test_quality_reasonable_at_low_crf(self):
+        clip = _clip()
+        decoded = Decoder().decode_video(_encode(clip, crf=10))
+        orig = [rgb_to_yuv420(f) for f in clip.frames]
+        vals = [psnr_yuv(a, b) for a, b in zip(orig, decoded.frames)]
+        assert min(vals) > 35.0
+
+    def test_rate_distortion_monotone(self):
+        clip = _clip()
+        orig = [rgb_to_yuv420(f) for f in clip.frames]
+        sizes, quals = [], []
+        for crf in (10, 30, 45):
+            encoded = _encode(clip, crf=crf)
+            decoded = Decoder().decode_video(encoded)
+            sizes.append(encoded.total_bytes)
+            quals.append(np.mean([psnr_yuv(a, b)
+                                  for a, b in zip(orig, decoded.frames)]))
+        assert sizes[0] > sizes[1] > sizes[2]
+        assert quals[0] > quals[1] > quals[2]
+
+    def test_crf51_is_heavily_compressed(self):
+        clip = _clip()
+        raw_bytes = clip.n_frames * rgb_to_yuv420(clip.frames[0]).nbytes()
+        encoded = _encode(clip, crf=51)
+        assert encoded.total_bytes < raw_bytes / 20
+
+    def test_first_frame_of_each_segment_is_i(self):
+        clip = _clip(duration=6.0, genre="music", seed=7)
+        segs = detect_segments(clip.frames)
+        encoded = Encoder(CodecConfig(crf=30)).encode(clip.frames, segs,
+                                                      fps=clip.fps)
+        decoded = Decoder().decode_video(encoded)
+        for seg in segs:
+            assert decoded.frame_types[seg.start] == "I"
+
+    def test_fixed_length_segmentation(self):
+        clip = _clip()
+        segs = fixed_length_segments(clip.n_frames, 8)
+        encoded = Encoder(CodecConfig(crf=30)).encode(clip.frames, segs,
+                                                      fps=clip.fps)
+        decoded = Decoder().decode_video(encoded)
+        assert decoded.n_frames == clip.n_frames
+        assert len(decoded.i_frame_indices) == len(segs)
+
+
+class TestValidation:
+    def test_bad_segment_tiling(self):
+        clip = _clip()
+        bad = [Segment(0, 0, clip.n_frames - 1)]
+        with pytest.raises(ValueError):
+            Encoder().encode(clip.frames, bad)
+
+    def test_overlapping_segments(self):
+        clip = _clip()
+        bad = [Segment(0, 0, 12), Segment(1, 10, clip.n_frames)]
+        with pytest.raises(ValueError):
+            Encoder().encode(clip.frames, bad)
+
+    def test_unaligned_frames(self):
+        frames = np.zeros((4, 30, 48, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            Encoder().encode(frames, [Segment(0, 0, 4)])
+
+    def test_wrong_rank(self):
+        with pytest.raises(ValueError):
+            Encoder().encode(np.zeros((4, 32, 48), np.float32),
+                             [Segment(0, 0, 4)])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CodecConfig(crf=99)
+        with pytest.raises(ValueError):
+            CodecConfig(n_b_frames=-1)
+        with pytest.raises(ValueError):
+            CodecConfig(search_range=0)
+
+    def test_corrupt_payload_raises(self):
+        clip = _clip()
+        encoded = _encode(clip)
+        seg = encoded.segments[0]
+        seg_bad = type(seg)(index=seg.index, start=seg.start,
+                            n_frames=seg.n_frames,
+                            payload=seg.payload[:8], frames=seg.frames)
+        with pytest.raises((ValueError, EOFError)):
+            Decoder().decode_segment(seg_bad, encoded.width, encoded.height)
+
+
+class TestBitAccounting:
+    def test_frame_bits_sum_close_to_payload(self):
+        clip = _clip()
+        encoded = _encode(clip)
+        for seg in encoded.segments:
+            frame_bits = sum(f.n_bits for f in seg.frames)
+            # Payload adds only the small segment header + byte padding.
+            assert 0 <= seg.n_bytes * 8 - frame_bits < 64
+
+    def test_i_frames_cost_more_per_frame(self):
+        """The paper's premise: I frames carry most of the bitrate."""
+        clip = _clip(duration=3.0)
+        encoded = _encode(clip, crf=35)
+        per_type: dict[str, list[int]] = {"I": [], "P": [], "B": []}
+        for seg in encoded.segments:
+            for info in seg.frames:
+                per_type[info.ftype].append(info.n_bits)
+        assert np.mean(per_type["I"]) > np.mean(per_type["P"])
+        assert np.mean(per_type["I"]) > np.mean(per_type["B"])
+
+    def test_bits_by_type_totals(self):
+        clip = _clip()
+        encoded = _encode(clip)
+        totals = encoded.bits_by_type()
+        frame_total = sum(
+            f.n_bits for s in encoded.segments for f in s.frames)
+        assert sum(totals.values()) == frame_total
+
+    def test_b_frames_present_when_requested(self):
+        clip = _clip()
+        encoded = _encode(clip, n_b_frames=2)
+        assert "B" in encoded.frame_types()
+        encoded_nob = _encode(clip, n_b_frames=0)
+        assert "B" not in encoded_nob.frame_types()
+
+
+class TestExtraIFrames:
+    def test_extra_i_interval_increases_i_count(self):
+        clip = _clip(duration=3.0)
+        segs = [Segment(0, 0, clip.n_frames)]
+        base = Encoder(CodecConfig(crf=30)).encode(clip.frames, segs)
+        extra = Encoder(CodecConfig(crf=30, extra_i_interval=6)).encode(
+            clip.frames, segs)
+        n_i_base = base.frame_types().count("I")
+        n_i_extra = extra.frame_types().count("I")
+        assert n_i_extra > n_i_base
+
+
+class TestIFrameHook:
+    def test_hook_called_once_per_i_frame(self):
+        clip = _clip(duration=5.0, genre="music", seed=7)
+        encoded = _encode(clip)
+        calls = []
+
+        def hook(frame, display):
+            calls.append(display)
+            return frame
+
+        decoded = Decoder(i_frame_hook=hook).decode_video(encoded)
+        assert sorted(calls) == decoded.i_frame_indices
+        assert decoded.hook_invocations == len(calls)
+
+    def test_identity_hook_changes_nothing(self):
+        clip = _clip()
+        encoded = _encode(clip)
+        plain = Decoder().decode_video(encoded)
+        hooked = Decoder(i_frame_hook=lambda f, i: f).decode_video(encoded)
+        assert all(a == b for a, b in zip(plain.frames, hooked.frames))
+
+    def test_hook_enhancement_propagates_to_p_and_b(self):
+        """Brightening the I frame must brighten dependent P/B frames."""
+        clip = _clip(duration=2.0)
+        encoded = _encode(clip, crf=40)
+
+        def brighten(frame, display):
+            return YuvFrame(
+                np.clip(frame.y.astype(np.int16) + 40, 0, 255).astype(np.uint8),
+                frame.u, frame.v)
+
+        plain = Decoder().decode_video(encoded)
+        hooked = Decoder(i_frame_hook=brighten).decode_video(encoded)
+        for ftype, a, b in zip(plain.frame_types, plain.frames, hooked.frames):
+            delta = float(b.y.astype(np.int64).mean() - a.y.astype(np.int64).mean())
+            assert delta > 15.0, f"{ftype} frame did not inherit enhancement"
+
+    def test_hook_must_preserve_size(self):
+        clip = _clip()
+        encoded = _encode(clip)
+
+        def grow(frame, display):
+            big = np.repeat(np.repeat(frame.y, 2, 0), 2, 1)
+            return YuvFrame(big, np.repeat(np.repeat(frame.u, 2, 0), 2, 1),
+                            np.repeat(np.repeat(frame.v, 2, 0), 2, 1))
+
+        with pytest.raises(ValueError):
+            Decoder(i_frame_hook=grow).decode_video(encoded)
+
+    def test_hook_must_return_yuv(self):
+        clip = _clip()
+        encoded = _encode(clip)
+        with pytest.raises(TypeError):
+            Decoder(i_frame_hook=lambda f, i: f.y).decode_video(encoded)
+
+
+class TestSegmentDecodeIsolation:
+    def test_segments_independently_decodable(self):
+        """Closed GOPs: any segment decodes without the others."""
+        clip = _clip(duration=6.0, genre="music", seed=7)
+        encoded = _encode(clip)
+        assert len(encoded.segments) > 1
+        seg = encoded.segments[-1]
+        frames = Decoder().decode_segment(seg, encoded.width, encoded.height)
+        assert len(frames) == seg.n_frames
+        displays = sorted(f.display for f in frames)
+        assert displays == list(range(seg.start, seg.start + seg.n_frames))
+
+
+class TestDisplayOnlyHook:
+    def test_display_only_does_not_propagate(self):
+        """With hook_display_only, P/B frames match the plain decode while
+        I frames still show the enhancement."""
+        clip = _clip(duration=2.0)
+        encoded = _encode(clip, crf=45)
+
+        def brighten(frame, display):
+            return YuvFrame(
+                np.clip(frame.y.astype(np.int16) + 40, 0, 255).astype(np.uint8),
+                frame.u, frame.v)
+
+        plain = Decoder().decode_video(encoded)
+        display_only = Decoder(i_frame_hook=brighten,
+                               hook_display_only=True).decode_video(encoded)
+        for ftype, a, b in zip(plain.frame_types, plain.frames,
+                               display_only.frames):
+            if ftype == "I":
+                assert a != b
+            else:
+                assert a == b

@@ -1,0 +1,71 @@
+"""Tests for target-size rate control."""
+
+import numpy as np
+import pytest
+
+from repro.video import detect_segments, make_video
+from repro.video.codec import (
+    CodecConfig,
+    Encoder,
+    bitrate_of,
+    encode_to_target_size,
+)
+
+
+@pytest.fixture(scope="module")
+def content():
+    clip = make_video("rc", "music", seed=9, size=(32, 48),
+                      duration_seconds=3.0, fps=10)
+    return clip, detect_segments(clip.frames)
+
+
+class TestRateControl:
+    def test_meets_budget_when_feasible(self, content):
+        clip, segments = content
+        # A budget comfortably above the CRF-51 floor.
+        floor = Encoder(CodecConfig(crf=51)).encode(
+            clip.frames, segments, fps=clip.fps).total_bytes
+        target = floor * 4
+        result = encode_to_target_size(clip.frames, segments, target,
+                                       fps=clip.fps)
+        assert result.achieved_bytes <= target
+        assert result.utilisation <= 1.0
+
+    def test_picks_best_quality_under_budget(self, content):
+        clip, segments = content
+        floor = Encoder(CodecConfig(crf=51)).encode(
+            clip.frames, segments, fps=clip.fps).total_bytes
+        result = encode_to_target_size(clip.frames, segments, floor * 4,
+                                       fps=clip.fps)
+        if result.crf > 0:
+            better = Encoder(CodecConfig(crf=result.crf - 1)).encode(
+                clip.frames, segments, fps=clip.fps)
+            assert better.total_bytes > result.target_bytes
+
+    def test_infeasible_budget_returns_max_crf(self, content):
+        clip, segments = content
+        result = encode_to_target_size(clip.frames, segments, 10,
+                                       fps=clip.fps)
+        assert result.crf == 51
+        assert result.utilisation > 1.0
+
+    def test_probe_count_bounded(self, content):
+        clip, segments = content
+        result = encode_to_target_size(clip.frames, segments, 50_000,
+                                       fps=clip.fps)
+        assert result.probes <= 7
+
+    def test_validation(self, content):
+        clip, segments = content
+        with pytest.raises(ValueError):
+            encode_to_target_size(clip.frames, segments, 0)
+        with pytest.raises(ValueError):
+            encode_to_target_size(clip.frames, segments, 100, min_crf=40,
+                                  max_crf=30)
+
+    def test_bitrate_of(self, content):
+        clip, segments = content
+        encoded = Encoder(CodecConfig(crf=40)).encode(clip.frames, segments,
+                                                      fps=clip.fps)
+        expected = 8.0 * encoded.total_bytes / (clip.n_frames / clip.fps)
+        assert np.isclose(bitrate_of(encoded), expected)

@@ -1,0 +1,62 @@
+"""Tests for package persistence (save/load round trip)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DcsrClient, load_package, save_package
+
+
+class TestPersistence:
+    def test_roundtrip_layout(self, package, tmp_path):
+        root = save_package(package, tmp_path / "pkg")
+        assert (root / "manifest.json").exists()
+        n_segments = package.manifest.n_segments
+        assert len(list((root / "segments").glob("*.bin"))) == n_segments
+        assert len(list((root / "models").glob("*.npz"))) == package.n_models
+
+    def test_loaded_manifest_matches(self, package, tmp_path):
+        save_package(package, tmp_path / "pkg")
+        loaded = load_package(tmp_path / "pkg")
+        assert loaded.manifest.label_sequence() == package.manifest.label_sequence()
+        assert loaded.manifest.model_sizes == package.manifest.model_sizes
+        assert loaded.manifest.n_frames == package.manifest.n_frames
+
+    def test_loaded_bitstreams_identical(self, package, tmp_path):
+        save_package(package, tmp_path / "pkg")
+        loaded = load_package(tmp_path / "pkg")
+        for a, b in zip(package.encoded.segments, loaded.encoded.segments):
+            assert a.payload == b.payload
+
+    def test_loaded_models_bitexact(self, package, tmp_path):
+        save_package(package, tmp_path / "pkg")
+        loaded = load_package(tmp_path / "pkg")
+        x = np.random.default_rng(0).uniform(
+            size=(1, 3, 16, 16)).astype(np.float32)
+        for label, model in package.models.items():
+            np.testing.assert_array_equal(model.forward(x),
+                                          loaded.models[label].forward(x))
+
+    def test_playback_identical_after_reload(self, package, small_clip, tmp_path):
+        """A client playing the reloaded package produces identical frames."""
+        save_package(package, tmp_path / "pkg")
+        loaded = load_package(tmp_path / "pkg")
+        original = DcsrClient(package).play(small_clip.frames)
+        reloaded = DcsrClient(loaded).play(small_clip.frames)
+        assert np.isclose(original.mean_psnr, reloaded.mean_psnr)
+        for a, b in zip(original.frames, reloaded.frames):
+            np.testing.assert_array_equal(a, b)
+        assert original.model_bytes == reloaded.model_bytes
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_package(tmp_path / "nope")
+
+    def test_bad_version_raises(self, package, tmp_path):
+        root = save_package(package, tmp_path / "pkg")
+        meta = json.loads((root / "manifest.json").read_text())
+        meta["format_version"] = 999
+        (root / "manifest.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError):
+            load_package(root)

@@ -1,0 +1,99 @@
+"""Tests for model serialization and size accounting."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.serialize import PER_TENSOR_OVERHEAD_BYTES
+
+
+def _make_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, rng=rng, name="head"),
+        nn.ReLU(),
+        nn.ResidualBlock(8, rng=rng, name="rb0"),
+        nn.Conv2d(8, 3, 3, rng=rng, name="tail"),
+    )
+
+
+class TestStateDict:
+    def test_roundtrip_in_memory(self):
+        net = _make_net(0)
+        other = _make_net(99)
+        nn.load_state_dict(other, nn.state_dict(net))
+        x = np.random.default_rng(1).normal(size=(1, 3, 6, 6)).astype(np.float32)
+        np.testing.assert_array_equal(net.forward(x), other.forward(x))
+
+    def test_keys_unique(self):
+        state = nn.state_dict(_make_net())
+        assert len(state) == len(set(state))
+
+    def test_wrong_count_raises(self):
+        net = _make_net()
+        state = nn.state_dict(net)
+        state.pop(next(iter(state)))
+        with pytest.raises(ValueError):
+            nn.load_state_dict(net, state)
+
+    def test_wrong_shape_raises(self):
+        net = _make_net()
+        state = nn.state_dict(net)
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1), dtype=np.float32)
+        with pytest.raises(ValueError):
+            nn.load_state_dict(net, state)
+
+    def test_state_is_copy(self):
+        net = _make_net()
+        state = nn.state_dict(net)
+        key = next(iter(state))
+        state[key][...] = 123.0
+        assert not np.any(next(net.parameters()).data == 123.0)
+
+
+class TestFileRoundtrip:
+    def test_save_load_file(self, tmp_path):
+        net = _make_net(0)
+        other = _make_net(50)
+        path = tmp_path / "model.npz"
+        written = nn.save_model(net, path)
+        assert written > 0
+        nn.load_model(other, path)
+        x = np.random.default_rng(2).normal(size=(1, 3, 5, 5)).astype(np.float32)
+        np.testing.assert_array_equal(net.forward(x), other.forward(x))
+
+    def test_bytes_roundtrip(self):
+        net = _make_net(0)
+        other = _make_net(7)
+        blob = nn.serialize_to_bytes(net)
+        nn.deserialize_from_bytes(other, blob)
+        x = np.random.default_rng(3).normal(size=(1, 3, 5, 5)).astype(np.float32)
+        np.testing.assert_array_equal(net.forward(x), other.forward(x))
+
+
+class TestSizeAccounting:
+    def test_size_formula(self):
+        net = _make_net()
+        n_params = sum(p.size for p in net.parameters())
+        n_tensors = len(list(net.parameters()))
+        expected = n_params * 4 + n_tensors * PER_TENSOR_OVERHEAD_BYTES
+        assert nn.model_size_bytes(net) == expected
+
+    def test_size_mb_consistent(self):
+        net = _make_net()
+        assert np.isclose(nn.model_size_mb(net),
+                          nn.model_size_bytes(net) / 2**20)
+
+    def test_bigger_net_bigger_size(self):
+        small = nn.Conv2d(3, 4, 3)
+        big = nn.Conv2d(3, 64, 3)
+        assert nn.model_size_bytes(big) > nn.model_size_bytes(small)
+
+    def test_download_size_close_to_serialized(self):
+        """The analytic download size tracks the real npz payload."""
+        net = _make_net()
+        blob = nn.serialize_to_bytes(net)
+        analytic = nn.model_size_bytes(net)
+        # npz is uncompressed here; sizes agree within 20%.
+        assert abs(len(blob) - analytic) / analytic < 0.2

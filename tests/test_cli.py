@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def video_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "video.npz"
+    rc = main(["generate", "--genre", "news", "--seconds", "3",
+               "--seed", "5", "--out", str(path)])
+    assert rc == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def package_dir(video_file, tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli") / "pkg"
+    rc = main(["prepare", str(video_file), "--out", str(out),
+               "--epochs", "4"])
+    assert rc == 0
+    return out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--out", "x.npz", "--genre", "sports"])
+        assert args.command == "generate"
+        assert args.genre == "sports"
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.device == "jetson"
+        assert args.resolution == "1080p"
+
+
+class TestGenerate:
+    def test_output_contents(self, video_file):
+        with np.load(video_file) as data:
+            assert data["frames"].shape[0] == 30  # 3 s at 10 fps
+            assert data["frames"].shape[3] == 3
+            assert float(data["fps"]) == 10.0
+
+
+class TestPrepareInfoPlay:
+    def test_package_layout(self, package_dir):
+        assert (package_dir / "manifest.json").exists()
+        assert list((package_dir / "models").glob("*.npz"))
+
+    def test_info(self, package_dir, capsys):
+        assert main(["info", str(package_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "segments" in out
+        assert "caching" in out
+
+    def test_play_with_reference(self, package_dir, video_file, capsys):
+        assert main(["play", str(package_dir),
+                     "--reference", str(video_file)]) == 0
+        out = capsys.readouterr().out
+        assert "PSNR" in out
+
+    def test_play_without_reference(self, package_dir, capsys):
+        assert main(["play", str(package_dir)]) == 0
+        assert "quality" not in capsys.readouterr().out
+
+
+class TestPlan:
+    def test_plan_jetson_4k_shows_oom(self, capsys):
+        assert main(["plan", "--device", "jetson", "--resolution", "4k"]) == 0
+        out = capsys.readouterr().out
+        assert "OOM" in out
+        assert "dcSR-1" in out
+
+    def test_plan_desktop_no_oom(self, capsys):
+        assert main(["plan", "--device", "desktop", "--resolution", "4k"]) == 0
+        assert "OOM" not in capsys.readouterr().out

@@ -1,0 +1,58 @@
+"""Smoke tests for the runnable examples.
+
+The fast, training-free examples run end to end in-process; the training
+examples are only checked for importability and a valid ``main`` (their
+full runs are exercised manually / in the benchmarks, which cover the same
+code paths with shared fixtures).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestFastExamples:
+    def test_device_planning_runs(self, capsys):
+        module = _load("device_planning")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Jetson" in out
+        assert "OOM" in out          # the 4K big-model case
+        assert "real-time" in out
+
+    def test_codec_playground_runs(self, capsys):
+        module = _load("codec_playground")
+        module.main()
+        out = capsys.readouterr().out
+        assert "CRF" in out
+        assert "per-frame-type coding cost" in out
+        assert "I-frame hook demo" in out
+
+
+class TestTrainingExamplesImportable:
+    @pytest.mark.parametrize("name", [
+        "quickstart", "streaming_session", "abr_streaming",
+        "baseline_comparison",
+    ])
+    def test_has_main(self, name):
+        module = _load(name)
+        assert callable(module.main)
+
+
+def test_all_examples_accounted_for():
+    """Every example on disk is either smoke-run or import-checked here."""
+    on_disk = {p.stem for p in EXAMPLES.glob("*.py")}
+    covered = {"device_planning", "codec_playground", "quickstart",
+               "streaming_session", "abr_streaming", "baseline_comparison"}
+    assert on_disk == covered
