@@ -11,9 +11,13 @@ Runs in a couple of minutes on a laptop CPU:
     python examples/quickstart.py
 """
 
-import time
-
-from repro.core import DcsrClient, ServerConfig, build_package, play_low
+from repro.core import (
+    DcsrClient,
+    ParallelConfig,
+    ServerConfig,
+    build_package,
+    play_low,
+)
 from repro.features import VaeTrainConfig
 from repro.sr import EdsrConfig, SrTrainConfig
 from repro.video import make_video
@@ -29,7 +33,9 @@ def main() -> None:
           f"({clip.width}x{clip.height} @ {clip.fps:g} fps)")
 
     # 2. Server side: encode at CRF 51 (the paper's low-quality setting) and
-    #    train one micro EDSR model per scene cluster.
+    #    train one micro EDSR model per scene cluster.  The independent
+    #    stages (per-segment encode/decode, per-cluster training) fan out
+    #    over a process pool — bit-identical to the serial build.
     config = ServerConfig(
         codec=CodecConfig(crf=51),
         vae_train=VaeTrainConfig(epochs=12, batch_size=4),
@@ -37,13 +43,15 @@ def main() -> None:
                                patch_size=16, learning_rate=5e-3,
                                lr_decay_epochs=10),
         micro_config=EdsrConfig(n_resblocks=2, n_filters=8),
+        parallel=ParallelConfig(workers=2, backend="process"),
     )
-    t0 = time.time()
     package = build_package(clip, config)
-    print(f"server pipeline: {time.time() - t0:.1f}s — "
+    print(f"server pipeline: {package.telemetry.total_seconds:.1f}s — "
           f"{package.manifest.n_segments} segments, "
           f"K = {package.selection.k} micro models "
           f"({package.manifest.total_model_bytes / 1024:.0f} KiB total)")
+    for line in package.telemetry.summary_lines():
+        print(line)
     print(f"segment -> model labels: {package.manifest.label_sequence()}")
 
     # 3. Client side: stream with SR applied to I frames in the decoder's

@@ -47,6 +47,14 @@ def build_parser() -> argparse.ArgumentParser:
     prep.add_argument("--max-segment-frames", type=int, default=20)
     prep.add_argument("--k", type=int, default=None,
                       help="override the silhouette-selected K")
+    prep.add_argument("--workers", type=int, default=1,
+                      help="parallel build workers (1 = serial, 0 = all cores)")
+    prep.add_argument("--backend", choices=("process", "thread", "serial"),
+                      default=None,
+                      help="pool backend (default: process when workers > 1)")
+    prep.add_argument("--train-cache", default=None, metavar="DIR",
+                      help="content-addressed training cache directory; "
+                           "rebuilds with unchanged clusters skip training")
 
     info = sub.add_parser("info", help="inspect a stored package")
     info.add_argument("package", help="package directory")
@@ -90,11 +98,15 @@ def _load_clip(path: str):
 
 
 def _cmd_prepare(args) -> int:
-    from .core import ServerConfig, build_package, save_package
+    from .core import ParallelConfig, ServerConfig, build_package, save_package
     from .sr import SrTrainConfig
     from .video.codec import CodecConfig
 
     clip = _load_clip(args.video)
+    workers = None if args.workers == 0 else args.workers
+    backend = args.backend
+    if backend is None:
+        backend = "serial" if workers == 1 else "process"
     config = ServerConfig(
         codec=CodecConfig(crf=args.crf),
         max_segment_len=args.max_segment_frames,
@@ -103,6 +115,8 @@ def _cmd_prepare(args) -> int:
                                learning_rate=5e-3,
                                lr_decay_epochs=max(5, args.epochs // 3)),
         k_override=args.k,
+        parallel=ParallelConfig(workers=workers, backend=backend),
+        train_cache_dir=args.train_cache,
     )
     t0 = time.time()
     package = build_package(clip, config)
@@ -110,6 +124,8 @@ def _cmd_prepare(args) -> int:
     print(f"prepared {package.manifest.n_segments} segments, "
           f"K = {package.selection.k} micro models in {time.time() - t0:.1f}s"
           f" -> {args.out}")
+    for line in package.telemetry.summary_lines():
+        print(line)
     return 0
 
 

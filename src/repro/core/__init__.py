@@ -13,7 +13,12 @@ from .baselines import (
 from .cache import CacheStats, ModelCache, simulate_caching
 from .client import DcsrClient, PlaybackResult, enhance_yuv_frame
 from .manifest import SegmentRecord, VideoManifest
-from .persist import StoredPackage, load_package, save_package
+from .parallel import (
+    BuildTelemetry,
+    ClusterTrainingError,
+    ParallelConfig,
+)
+from .persist import StoredPackage, TrainingCache, load_package, save_package
 from .server import DcsrPackage, ServerConfig, build_package, prepare_video
 from .streaming import (
     BandwidthUsage,
@@ -32,6 +37,10 @@ __all__ = [
     "simulate_caching",
     "ServerConfig",
     "DcsrPackage",
+    "ParallelConfig",
+    "BuildTelemetry",
+    "ClusterTrainingError",
+    "TrainingCache",
     "StoredPackage",
     "save_package",
     "load_package",

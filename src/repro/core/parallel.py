@@ -1,0 +1,159 @@
+"""Parallel execution plumbing for the server build pipeline.
+
+The server pipeline's expensive stages are embarrassingly parallel: every
+segment encodes and decodes independently (closed GOPs), every I-frame
+chunk embeds independently, and every cluster's micro model trains
+independently.  :class:`ParallelConfig` selects how that independence is
+exploited; :class:`BuildTelemetry` records where the wall-clock went.
+
+Determinism contract: the parallel build computes exactly the same
+floating-point operations as the serial build, in the same per-task order,
+so a package built with any worker count is bit-identical to the serial
+one for the same :class:`~repro.core.server.ServerConfig` seed.  Models
+cross the process boundary through :mod:`repro.nn.serialize`, which
+round-trips float32 parameters losslessly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "BACKENDS",
+    "BUILD_STAGES",
+    "ParallelConfig",
+    "BuildTelemetry",
+    "ClusterTrainingError",
+    "make_executor",
+    "stage_timer",
+]
+
+#: Accepted values of :attr:`ParallelConfig.backend`.
+BACKENDS = ("process", "thread", "serial")
+
+#: Stage names recorded in :attr:`BuildTelemetry.stage_seconds`, in
+#: pipeline order.
+BUILD_STAGES = ("split", "encode", "embed", "cluster", "train", "validate")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How the server build fans out its independent stages.
+
+    ``workers=None`` resolves to ``os.cpu_count()``.  ``backend`` picks the
+    pool flavour: ``process`` (true CPU parallelism, the default choice for
+    training-dominated builds), ``thread`` (lower task overhead, useful
+    when numpy releases the GIL), or ``serial`` (the exact pre-parallel
+    code path, also used automatically when only one worker resolves).
+    ``chunk_size`` is the number of I frames embedded per VAE feature-
+    extraction task.
+    """
+
+    workers: int | None = None
+    backend: str = "serial"
+    chunk_size: int = 16
+
+    def __post_init__(self):
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    def resolve_workers(self) -> int:
+        """The concrete worker count (1 for the serial backend)."""
+        if self.backend == "serial":
+            return 1
+        if self.workers is not None:
+            return self.workers
+        return os.cpu_count() or 1
+
+    def effective_backend(self) -> str:
+        """``serial`` whenever a pool would not help (one worker)."""
+        if self.backend == "serial" or self.resolve_workers() == 1:
+            return "serial"
+        return self.backend
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.effective_backend() != "serial"
+
+
+class ClusterTrainingError(RuntimeError):
+    """A pool worker failed while training one cluster's micro model.
+
+    Carries the cluster ``label`` so build failures are attributable; the
+    original exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, label: int, message: str):
+        super().__init__(f"cluster {label}: {message}")
+        self.label = int(label)
+
+
+@dataclass
+class BuildTelemetry:
+    """Per-stage accounting of one :func:`~repro.core.server.build_package`.
+
+    ``stage_seconds`` has one entry per :data:`BUILD_STAGES` name that ran;
+    ``train_flops`` is the analytic forward+backward cost of the clusters
+    actually trained (cache hits cost zero).
+    """
+
+    backend: str = "serial"
+    workers: int = 1
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    train_seconds_per_cluster: dict[int, float] = field(default_factory=dict)
+    train_flops: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def summary_lines(self) -> list[str]:
+        """A printable per-stage breakdown (CLI ``prepare`` and quickstart)."""
+        lines = [f"build stages ({self.backend} x{self.workers}):"]
+        for name in BUILD_STAGES:
+            if name in self.stage_seconds:
+                lines.append(f"  {name:<9} {self.stage_seconds[name]:7.2f}s")
+        lines.append(f"  {'total':<9} {self.total_seconds:7.2f}s")
+        if self.train_flops:
+            lines.append(f"  training   {self.train_flops:.3g} FLOPs")
+        if self.cache_hits or self.cache_misses:
+            lines.append(f"  train cache: {self.cache_hits} hits, "
+                         f"{self.cache_misses} misses")
+        return lines
+
+
+@contextmanager
+def stage_timer(telemetry: BuildTelemetry | None, name: str):
+    """Accumulate wall-clock of the enclosed block into ``telemetry``."""
+    if telemetry is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        telemetry.stage_seconds[name] = (
+            telemetry.stage_seconds.get(name, 0.0)
+            + time.perf_counter() - t0)
+
+
+def make_executor(config: ParallelConfig) -> Executor | None:
+    """An executor for ``config``, or ``None`` for the serial path."""
+    backend = config.effective_backend()
+    if backend == "serial":
+        return None
+    workers = config.resolve_workers()
+    if backend == "process":
+        return ProcessPoolExecutor(max_workers=workers)
+    return ThreadPoolExecutor(max_workers=workers)

@@ -16,16 +16,20 @@ Layout::
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import dataclass, field
+import os
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-from ..sr import EDSR, EdsrConfig
+import numpy as np
+
+from ..sr import EDSR, EdsrConfig, SrTrainConfig
 from ..video.codec import CodecConfig, EncodedSegment, EncodedVideo
 from ..video.segment import Segment
 from .manifest import SegmentRecord, VideoManifest
 
-__all__ = ["StoredPackage", "save_package", "load_package"]
+__all__ = ["StoredPackage", "TrainingCache", "save_package", "load_package"]
 
 _FORMAT_VERSION = 1
 
@@ -97,6 +101,75 @@ def save_package(package, root: str | Path) -> Path:
     for label, model in package.models.items():
         nn.save_model(model, root / "models" / f"model-{label:02d}.npz")
     return root
+
+
+class TrainingCache:
+    """Content-addressed store of trained micro-model checkpoints.
+
+    The key hashes everything a cluster's training run depends on: the
+    exact (LQ, HQ) I-frame pairs (so any re-encode — a CRF change, a codec
+    tweak — or any cluster membership change produces a different key), the
+    :class:`~repro.sr.EdsrConfig`, the :class:`~repro.sr.SrTrainConfig`,
+    and the model-init seed.  Frame *order* is part of the key because the
+    patch sampler consumes frames by index.  A rebuild whose clusters are
+    unchanged therefore skips training entirely; a stale key can never be
+    served.
+
+    Entries are plain ``.npz`` checkpoints named by their key, written
+    atomically (temp file + rename) so concurrent builders can share one
+    cache directory.
+    """
+
+    KEY_VERSION = 1
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def key(
+        cls, lq_frames: np.ndarray, hr_frames: np.ndarray,
+        model_config: EdsrConfig, train_config: SrTrainConfig, seed: int,
+    ) -> str:
+        """The sha256 content address of one cluster training run."""
+        digest = hashlib.sha256(f"dcsr-train-cache-v{cls.KEY_VERSION}".encode())
+        for frames in (lq_frames, hr_frames):
+            arr = np.ascontiguousarray(np.asarray(frames, dtype=np.float32))
+            digest.update(repr(arr.shape).encode())
+            digest.update(arr.tobytes())
+        digest.update(repr(sorted(asdict(model_config).items())).encode())
+        digest.update(repr(sorted(asdict(train_config).items())).encode())
+        digest.update(str(int(seed)).encode())
+        return digest.hexdigest()
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    @property
+    def n_entries(self) -> int:
+        return sum(1 for _ in self.root.glob("*.npz"))
+
+    def get(self, key: str, config: EdsrConfig) -> EDSR | None:
+        """The cached model for ``key``, or ``None`` on a miss."""
+        path = self.path(key)
+        if not path.exists():
+            return None
+        from .. import nn
+        model = EDSR(config)
+        nn.load_model(model, path)
+        return model
+
+    def put(self, key: str, model: EDSR) -> Path:
+        """Store ``model`` under ``key`` (atomic; last writer wins)."""
+        from .. import nn
+        path = self.path(key)
+        tmp = path.with_name(f".tmp-{os.getpid()}-{key}.npz")
+        nn.save_model(model, tmp)
+        tmp.replace(path)
+        return path
 
 
 def load_package(root: str | Path) -> StoredPackage:

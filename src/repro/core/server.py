@@ -11,27 +11,60 @@
 
 The result, a :class:`DcsrPackage`, is what a CDN would host: the encoded
 segments, the manifest, and the micro models.
+
+The independent stages — per-segment encode/decode, per-chunk VAE feature
+extraction, per-cluster training — fan out over a
+:class:`~repro.core.parallel.ParallelConfig`-selected worker pool, and
+per-cluster training runs are memoized in an optional content-addressed
+:class:`~repro.core.persist.TrainingCache`.  Serial and parallel builds
+are bit-identical for the same seed (see ``docs/performance.md`` for the
+determinism contract); the serial backend is the exact sequential code
+path.
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..clustering import KSelection, max_k_for_budget, select_k
-from ..features import ConvVAE, VaeTrainConfig, extract_features, train_vae
+from ..features import (
+    ConvVAE,
+    VaeTrainConfig,
+    extract_features,
+    frames_to_batch,
+    train_vae,
+)
 from ..sr import (
     EDSR,
     EdsrConfig,
     QUALITY_BIG_CONFIG,
     SrTrainConfig,
     train_sr,
+    training_flops_estimate,
 )
 from ..video import VideoClip, detect_segments, fixed_length_segments, yuv420_to_rgb
-from ..video.codec import CodecConfig, DecodedVideo, Decoder, EncodedVideo, Encoder
+from ..video.codec import (
+    CodecConfig,
+    DecodedVideo,
+    Decoder,
+    EncodedSegment,
+    EncodedVideo,
+    Encoder,
+)
 from ..video.segment import Segment
 from .manifest import SegmentRecord, VideoManifest
+from .parallel import (
+    BuildTelemetry,
+    ClusterTrainingError,
+    ParallelConfig,
+    make_executor,
+    stage_timer,
+)
+from .persist import TrainingCache
 
 __all__ = ["ServerConfig", "DcsrPackage", "build_package", "prepare_video"]
 
@@ -44,6 +77,11 @@ class ServerConfig:
     minimum-working-model search of Appendix A.1; the default is a sensible
     minimum for the synthetic corpus).  ``big_config`` only enters the K
     budget (Eq. 3) — it is the single model NAS/NEMO would ship.
+
+    ``parallel`` fans the independent stages out over a worker pool (the
+    default is the serial code path); ``train_cache_dir`` enables the
+    content-addressed training cache so rebuilding a video with unchanged
+    clusters skips training.
     """
 
     codec: CodecConfig = field(default_factory=lambda: CodecConfig(crf=45))
@@ -65,6 +103,8 @@ class ServerConfig:
     #: the winner in the manifest.  Costs two simulated playbacks.
     validate_in_loop: bool = True
     seed: int = 0
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    train_cache_dir: str | None = None
 
 
 @dataclass
@@ -79,32 +119,215 @@ class DcsrPackage:
     vae: ConvVAE
     segments: list[Segment]
     decoded_low: DecodedVideo         # the client-visible LQ reference
+    telemetry: BuildTelemetry | None = None
 
     @property
     def n_models(self) -> int:
         return len(self.models)
 
 
+# ----------------------------------------------------------------------
+# Pool worker tasks.  Module-level so they pickle by reference for the
+# process backend; each receives everything it needs (no shared state) and
+# performs exactly the operations of the serial path, so results are
+# bit-identical at any worker count.
+
+def _encode_segment_task(args) -> EncodedSegment:
+    codec, frames, segment = args
+    return Encoder(codec).encode_segment(frames, segment)
+
+
+def _decode_segment_task(args):
+    segment, width, height = args
+    return segment.index, Decoder().decode_segment(segment, width, height)
+
+
+def _embed_chunk_task(args) -> np.ndarray:
+    blob, latent_dim, input_size, frames = args
+    from .. import nn
+    vae = ConvVAE(latent_dim=latent_dim, input_size=input_size)
+    nn.deserialize_from_bytes(vae, blob)
+    return extract_features(vae, frames)
+
+
+def _train_cluster_task(args):
+    label, model_config, seed, lq, hr, train_config = args
+    from .. import nn
+    model = EDSR(model_config, seed=seed)
+    t0 = time.perf_counter()
+    train_sr(model, lq, hr, train_config)
+    return label, nn.serialize_to_bytes(model), time.perf_counter() - t0
+
+
+def _run_pool(executor: Executor, fn, tasks, labels, wrap=None):
+    """Submit ``tasks`` and collect results in submission order.
+
+    A worker exception aborts the build: pending tasks are cancelled and
+    the failure re-raised — wrapped via ``wrap(label, exc)`` when given
+    (training attaches the cluster id this way), raw otherwise — so a bad
+    task is attributable instead of hanging the build.
+    """
+    futures = [executor.submit(fn, task) for task in tasks]
+    results = []
+    try:
+        for label, future in zip(labels, futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                if wrap is None or isinstance(exc, ClusterTrainingError):
+                    raise
+                raise wrap(label, exc) from exc
+    except BaseException:
+        executor.shutdown(wait=True, cancel_futures=True)
+        raise
+    return results
+
+
+# ----------------------------------------------------------------------
+# Pipeline stages.
+
 def prepare_video(
     clip: VideoClip, config: ServerConfig,
+    telemetry: BuildTelemetry | None = None,
 ) -> tuple[list[Segment], EncodedVideo, DecodedVideo]:
     """Steps 1-2: split and encode the video, then decode the LQ version."""
-    if config.fixed_segment_len is not None:
-        segments = fixed_length_segments(clip.n_frames, config.fixed_segment_len)
-    else:
-        segments = detect_segments(
-            clip.frames, threshold=config.segment_threshold,
-            min_length=config.min_segment_len,
-            max_length=config.max_segment_len)
-    encoded = Encoder(config.codec).encode(clip.frames, segments, fps=clip.fps)
-    decoded = Decoder().decode_video(encoded)
+    with stage_timer(telemetry, "split"):
+        if config.fixed_segment_len is not None:
+            segments = fixed_length_segments(clip.n_frames,
+                                             config.fixed_segment_len)
+        else:
+            segments = detect_segments(
+                clip.frames, threshold=config.segment_threshold,
+                min_length=config.min_segment_len,
+                max_length=config.max_segment_len)
+    with stage_timer(telemetry, "encode"):
+        executor = make_executor(config.parallel)
+        if executor is None:
+            encoded = Encoder(config.codec).encode(clip.frames, segments,
+                                                   fps=clip.fps)
+            decoded = Decoder().decode_video(encoded)
+        else:
+            with executor:
+                encoded = _encode_parallel(clip, segments, config, executor)
+                decoded = _decode_parallel(encoded, executor)
     return segments, encoded, decoded
+
+
+def _encode_parallel(
+    clip: VideoClip, segments: list[Segment], config: ServerConfig,
+    executor: Executor,
+) -> EncodedVideo:
+    ordered = sorted(segments, key=lambda s: s.start)
+    tasks = [(config.codec, clip.frames[seg.start:seg.end], seg)
+             for seg in ordered]
+    coded = _run_pool(executor, _encode_segment_task, tasks,
+                      [seg.index for seg in ordered])
+    video = EncodedVideo(width=clip.width, height=clip.height, fps=clip.fps,
+                         config=config.codec)
+    video.segments.extend(coded)
+    return video
+
+
+def _decode_parallel(encoded: EncodedVideo, executor: Executor) -> DecodedVideo:
+    tasks = [(seg, encoded.width, encoded.height) for seg in encoded.segments]
+    decoded_segments = _run_pool(executor, _decode_segment_task, tasks,
+                                 [seg.index for seg in encoded.segments])
+    by_display = {}
+    for _index, frames in decoded_segments:
+        for item in frames:
+            by_display[item.display] = item
+    result = DecodedVideo(width=encoded.width, height=encoded.height,
+                          fps=encoded.fps)
+    for display in sorted(by_display):
+        item = by_display[display]
+        result.frames.append(item.frame)
+        result.frame_types.append(item.ftype)
+        result.frame_bits.append(item.n_bits)
+    return result
+
+
+def _extract_features_parallel(
+    vae: ConvVAE, frames: np.ndarray, config: ParallelConfig,
+    executor: Executor,
+) -> np.ndarray:
+    from .. import nn
+    blob = nn.serialize_to_bytes(vae)
+    chunk = config.chunk_size
+    starts = list(range(0, len(frames), chunk))
+    tasks = [(blob, vae.latent_dim, vae.input_size, frames[s:s + chunk])
+             for s in starts]
+    parts = _run_pool(executor, _embed_chunk_task, tasks, starts)
+    return np.concatenate(parts, axis=0)
+
+
+def _train_models(
+    config: ServerConfig, labels: np.ndarray,
+    lq_i: np.ndarray, hr_i: np.ndarray, telemetry: BuildTelemetry,
+) -> dict[int, EDSR]:
+    """Stage 5: one micro model per cluster, cache-aware and pool-aware."""
+    cache = (TrainingCache(config.train_cache_dir)
+             if config.train_cache_dir is not None else None)
+    models: dict[int, EDSR] = {}
+    pending = []  # (label, seed, lq_member, hr_member, cache_key)
+    for label in sorted(set(int(l) for l in labels)):
+        member = labels == label
+        lq_m, hr_m = lq_i[member], hr_i[member]
+        seed = config.seed + label
+        key = None
+        if cache is not None:
+            key = cache.key(lq_m, hr_m, config.micro_config, config.sr_train,
+                            seed)
+            cached = cache.get(key, config.micro_config)
+            if cached is not None:
+                models[label] = cached
+                telemetry.cache_hits += 1
+                continue
+            telemetry.cache_misses += 1
+        pending.append((label, seed, lq_m, hr_m, key))
+
+    executor = make_executor(config.parallel)
+    if executor is None:
+        for label, seed, lq_m, hr_m, key in pending:
+            model = EDSR(config.micro_config, seed=seed)
+            t0 = time.perf_counter()
+            train_sr(model, lq_m, hr_m, config.sr_train)
+            telemetry.train_seconds_per_cluster[label] = (
+                time.perf_counter() - t0)
+            models[label] = model
+            if cache is not None:
+                cache.put(key, model)
+    else:
+        from .. import nn
+        tasks = [(label, config.micro_config, seed, lq_m, hr_m,
+                  config.sr_train)
+                 for label, seed, lq_m, hr_m, _key in pending]
+        with executor:
+            results = _run_pool(
+                executor, _train_cluster_task, tasks,
+                [label for label, *_rest in pending],
+                wrap=lambda label, exc: ClusterTrainingError(label, str(exc)))
+        keys = {label: key for label, _s, _l, _h, key in pending}
+        for label, blob, seconds in results:
+            model = EDSR(config.micro_config,
+                         seed=config.seed + int(label))
+            nn.deserialize_from_bytes(model, blob)
+            telemetry.train_seconds_per_cluster[int(label)] = seconds
+            models[int(label)] = model
+            if cache is not None:
+                cache.put(keys[int(label)], model)
+
+    telemetry.train_flops = (
+        training_flops_estimate(EDSR(config.micro_config), config.sr_train)
+        * len(pending))
+    return models
 
 
 def build_package(clip: VideoClip, config: ServerConfig | None = None) -> DcsrPackage:
     """Run the full server pipeline on ``clip``."""
     config = config or ServerConfig()
-    segments, encoded, decoded = prepare_video(clip, config)
+    telemetry = BuildTelemetry(backend=config.parallel.effective_backend(),
+                               workers=config.parallel.resolve_workers())
+    segments, encoded, decoded = prepare_video(clip, config, telemetry)
 
     # I-frame training pairs: the decoded LQ I frame (network input) and the
     # pristine original (ground truth).
@@ -113,34 +336,43 @@ def build_package(clip: VideoClip, config: ServerConfig | None = None) -> DcsrPa
     hr_i = np.stack([clip.frames[i] for i in i_indices])
 
     # Feature extraction: VAE trained on this video's I frames (HR side —
-    # the server has it), encoder mean as the feature.
-    vae = ConvVAE(latent_dim=config.vae_latent_dim,
-                  input_size=config.vae_input_size, seed=config.seed)
-    from ..features import frames_to_batch
-    thumbs = frames_to_batch(hr_i, config.vae_input_size)
-    train_vae(vae, thumbs, config.vae_train)
-    features = extract_features(vae, hr_i)
+    # the server has it), encoder mean as the feature.  Training is one
+    # sequential model; the per-I-frame embedding fans out in chunks.
+    with stage_timer(telemetry, "embed"):
+        vae = ConvVAE(latent_dim=config.vae_latent_dim,
+                      input_size=config.vae_input_size, seed=config.seed)
+        thumbs = frames_to_batch(hr_i, config.vae_input_size)
+        train_vae(vae, thumbs, config.vae_train)
+        # Chunk boundaries are fixed by ``chunk_size`` — never by worker
+        # count — because BLAS kernels differ by matrix shape, so only
+        # identical per-call batches embed bit-identically.
+        executor = make_executor(config.parallel)
+        if executor is None:
+            features = extract_features(vae, hr_i,
+                                        chunk_size=config.parallel.chunk_size)
+        else:
+            with executor:
+                features = _extract_features_parallel(
+                    vae, hr_i, config.parallel, executor)
 
     # Constrained K selection (Eq. 2-3).
-    big_size = EDSR(config.big_config).size_bytes()
-    min_size = EDSR(config.micro_config).size_bytes()
-    k_budget = max_k_for_budget(big_size, min_size)
-    if config.k_override is not None:
-        from ..clustering import global_kmeans
-        k = min(config.k_override, len(segments))
-        result = global_kmeans(features, k)
-        selection = KSelection(k=k, scores={}, k_max=k_budget, result=result)
-    else:
-        selection = select_k(features, k_budget)
-    labels = selection.result.labels
+    with stage_timer(telemetry, "cluster"):
+        big_size = EDSR(config.big_config).size_bytes()
+        min_size = EDSR(config.micro_config).size_bytes()
+        k_budget = max_k_for_budget(big_size, min_size)
+        if config.k_override is not None:
+            from ..clustering import global_kmeans
+            k = min(config.k_override, len(segments))
+            result = global_kmeans(features, k)
+            selection = KSelection(k=k, scores={}, k_max=k_budget,
+                                   result=result)
+        else:
+            selection = select_k(features, k_budget)
+        labels = selection.result.labels
 
     # One micro model per cluster, trained on the cluster's I frames only.
-    models: dict[int, EDSR] = {}
-    for label in sorted(set(int(l) for l in labels)):
-        member = labels == label
-        model = EDSR(config.micro_config, seed=config.seed + int(label))
-        train_sr(model, lq_i[member], hr_i[member], config.sr_train)
-        models[int(label)] = model
+    with stage_timer(telemetry, "train"):
+        models = _train_models(config, labels, lq_i, hr_i, telemetry)
 
     manifest = VideoManifest(
         video_name=clip.name, width=clip.width, height=clip.height,
@@ -156,9 +388,11 @@ def build_package(clip: VideoClip, config: ServerConfig | None = None) -> DcsrPa
     )
     package = DcsrPackage(manifest=manifest, encoded=encoded, models=models,
                           features=features, selection=selection, vae=vae,
-                          segments=segments, decoded_low=decoded)
+                          segments=segments, decoded_low=decoded,
+                          telemetry=telemetry)
     if config.validate_in_loop:
-        package.manifest.enhance_in_loop = _validate_in_loop(package, clip)
+        with stage_timer(telemetry, "validate"):
+            package.manifest.enhance_in_loop = _validate_in_loop(package, clip)
     return package
 
 

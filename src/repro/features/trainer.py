@@ -96,8 +96,20 @@ def train_vae(
 
 
 def extract_features(
-    vae: ConvVAE, frames: np.ndarray,
+    vae: ConvVAE, frames: np.ndarray, chunk_size: int | None = None,
 ) -> np.ndarray:
-    """Embed RGB frames ``(N, H, W, 3)`` into ``(N, latent_dim)`` features."""
+    """Embed RGB frames ``(N, H, W, 3)`` into ``(N, latent_dim)`` features.
+
+    ``chunk_size`` embeds the frames in batches of that many.  Each frame's
+    embedding is an independent row of the underlying GEMMs, so chunked and
+    whole-batch extraction are bit-identical — which is what lets the
+    parallel server build fan chunks out across workers.
+    """
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     batch = frames_to_batch(frames, vae.input_size)
-    return vae.embed(batch)
+    if chunk_size is None or chunk_size >= batch.shape[0]:
+        return vae.embed(batch)
+    return np.concatenate(
+        [vae.embed(batch[start:start + chunk_size])
+         for start in range(0, batch.shape[0], chunk_size)], axis=0)

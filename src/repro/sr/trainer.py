@@ -63,7 +63,12 @@ def train_sr(
     """Train ``model`` to map ``lr_frames`` to ``hr_frames``.
 
     Frames are ``(N, H, W, 3)`` RGB floats; HR frames are ``model.scale``
-    times larger spatially.  Deterministic given ``config.seed``.
+    times larger spatially.  Deterministic given ``config.seed`` and the
+    model's initial parameters — including across process boundaries, which
+    is what lets the parallel server build train clusters in pool workers
+    bit-identically to the serial build, and what makes a training run
+    memoizable by its inputs in :class:`~repro.core.persist.TrainingCache`.
+    Frame *order* matters: the patch sampler draws frames by index.
     """
     config = config or SrTrainConfig()
     loss_fn = nn.l1_loss if config.loss == "l1" else nn.mse_loss
@@ -109,12 +114,12 @@ def training_flops_estimate(
     """Approximate training FLOPs: forward+backward ~ 3x forward cost.
 
     Used for the training-cost comparison (the paper reports ~3x cheaper
-    micro-model training).
+    micro-model training) and aggregated per build into
+    :attr:`~repro.core.parallel.BuildTelemetry.train_flops` (clusters
+    served from the training cache cost zero).
     """
     from ..devices.flops import model_forward_flops
-    patch_pixels = config.patch_size * config.patch_size
     per_sample = model_forward_flops(model, config.patch_size,
                                      config.patch_size)
-    del patch_pixels
     steps = config.epochs * config.steps_per_epoch
     return 3.0 * per_sample * config.batch_size * steps

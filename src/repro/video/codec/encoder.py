@@ -148,6 +148,37 @@ class Encoder:
             video.segments.append(self._encode_segment(yuv, seg))
         return video
 
+    def encode_segment(
+        self, frames_rgb: np.ndarray, segment: Segment,
+    ) -> EncodedSegment:
+        """Encode one closed-GOP segment from its own frames.
+
+        ``frames_rgb`` holds exactly ``segment.n_frames`` RGB frames (the
+        slice ``[segment.start, segment.end)`` of the video).  Because
+        segments are closed GOPs and the bitstream stores segment-local
+        display offsets, the payload is bit-identical to the corresponding
+        segment of :meth:`encode` — this is the unit of work the parallel
+        server build fans out per worker.
+        """
+        if frames_rgb.ndim != 4:
+            raise ValueError(f"expected (T, H, W, 3) frames, got {frames_rgb.shape}")
+        if frames_rgb.shape[0] != segment.n_frames:
+            raise ValueError(
+                f"segment {segment.index} expects {segment.n_frames} frames, "
+                f"got {frames_rgb.shape[0]}")
+        height, width = frames_rgb.shape[1:3]
+        if height % MB or width % MB:
+            raise ValueError(f"frame size {(height, width)} must be multiples of {MB}")
+        yuv = [rgb_to_yuv420(frame) for frame in frames_rgb]
+        local = Segment(index=segment.index, start=0, end=segment.n_frames)
+        coded = self._encode_segment(yuv, local)
+        return EncodedSegment(
+            index=segment.index, start=segment.start,
+            n_frames=segment.n_frames, payload=coded.payload,
+            frames=[EncodedFrameInfo(display=f.display + segment.start,
+                                     ftype=f.ftype, n_bits=f.n_bits)
+                    for f in coded.frames])
+
     # ------------------------------------------------------------------
 
     def _encode_segment(self, yuv: list[YuvFrame], seg: Segment) -> EncodedSegment:

@@ -40,6 +40,21 @@ class TestParser:
         assert args.device == "jetson"
         assert args.resolution == "1080p"
 
+    def test_prepare_parallel_defaults(self):
+        args = build_parser().parse_args(
+            ["prepare", "v.npz", "--out", "pkg"])
+        assert args.workers == 1
+        assert args.backend is None
+        assert args.train_cache is None
+
+    def test_prepare_parallel_flags(self):
+        args = build_parser().parse_args(
+            ["prepare", "v.npz", "--out", "pkg", "--workers", "4",
+             "--backend", "thread", "--train-cache", "cache/"])
+        assert args.workers == 4
+        assert args.backend == "thread"
+        assert args.train_cache == "cache/"
+
 
 class TestGenerate:
     def test_output_contents(self, video_file):
@@ -69,6 +84,28 @@ class TestPrepareInfoPlay:
     def test_play_without_reference(self, package_dir, capsys):
         assert main(["play", str(package_dir)]) == 0
         assert "quality" not in capsys.readouterr().out
+
+
+class TestPrepareParallel:
+    def test_parallel_prepare_with_cache(self, video_file, tmp_path, capsys):
+        out = tmp_path / "pkg"
+        cache = tmp_path / "cache"
+        rc = main(["prepare", str(video_file), "--out", str(out),
+                   "--epochs", "2", "--workers", "2",
+                   "--train-cache", str(cache)])
+        assert rc == 0
+        first = capsys.readouterr().out
+        assert "build stages (process x2):" in first
+        assert "train" in first
+        assert "hits" in first
+        assert list(cache.glob("*.npz"))
+
+        rc = main(["prepare", str(video_file), "--out", str(tmp_path / "p2"),
+                   "--epochs", "2", "--workers", "2",
+                   "--train-cache", str(cache)])
+        assert rc == 0
+        second = capsys.readouterr().out
+        assert "0 misses" in second  # full training-cache hit
 
 
 class TestPlan:
