@@ -1,0 +1,123 @@
+"""Client playback session: per-stage timing and bounded memory.
+
+Measures where a streaming session's wall time goes (download / decode /
+SR / colour conversion), the achieved frame rate against the native one,
+and — the memory claim behind ``iter_frames`` — the peak number of
+decoded frames resident at once, which must stay bounded by a single
+segment regardless of video length.
+
+A second, lossy run exercises the fault-tolerant path (injected failures
++ retries + concealment/fallback) and records the degradation and
+goodput cost next to the clean numbers.
+"""
+
+import os
+
+from benchmarks.conftest import run_once
+from repro.bench import print_table, save_results
+from repro.core import (
+    DcsrClient,
+    NetworkConfig,
+    RetryPolicy,
+    ServerConfig,
+    SimulatedNetwork,
+    build_package,
+    session_goodput_bps,
+    stall_ratio,
+)
+from repro.features import VaeTrainConfig
+from repro.sr import EdsrConfig, SrTrainConfig
+from repro.video import make_video
+from repro.video.codec import CodecConfig
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+
+def _package():
+    clip = make_video("playback-bench", genre="music", seed=7, size=(48, 64),
+                      duration_seconds=4.0 if FAST else 10.0, fps=10,
+                      n_distinct_scenes=3)
+    epochs = 6 if FAST else 20
+    config = ServerConfig(
+        codec=CodecConfig(crf=51),
+        max_segment_len=10,
+        vae_train=VaeTrainConfig(epochs=4 if FAST else 10, batch_size=4),
+        sr_train=SrTrainConfig(epochs=epochs, steps_per_epoch=10,
+                               batch_size=8, patch_size=16,
+                               lr_decay_epochs=max(2, epochs // 2)),
+        micro_config=EdsrConfig(n_resblocks=2, n_filters=8),
+        validate_in_loop=False,
+    )
+    return clip, build_package(clip, config)
+
+
+def test_playback_stage_breakdown(benchmark):
+    clip, package = _package()
+
+    def experiment():
+        clean = DcsrClient(package).play(clip.frames)
+        net = SimulatedNetwork(NetworkConfig(
+            fail_rate=0.3, latency_s=0.02, bandwidth_bps=20e6, seed=1))
+        lossy = DcsrClient(package, network=net,
+                           retry=RetryPolicy(retries=2, backoff_s=0.01),
+                           fallback=True).play(clip.frames)
+        return clean, lossy
+
+    clean, lossy = run_once(benchmark, experiment)
+
+    rows = []
+    for name, result in (("clean", clean), ("lossy", lossy)):
+        t = result.telemetry
+        rows.append([
+            name,
+            t.stage_seconds.get("download", 0.0),
+            t.stage_seconds.get("decode", 0.0),
+            t.stage_seconds.get("sr", 0.0),
+            t.stage_seconds.get("color", 0.0),
+            t.achieved_fps,
+            t.peak_resident_frames,
+            len(result.skipped_segments) + len(result.fallback_segments),
+        ])
+    print_table(
+        f"Playback session ({len(package.segments)} segments, "
+        f"{clip.n_frames} frames @ {clip.fps:g} fps)",
+        ["session", "dl (s)", "decode (s)", "sr (s)", "color (s)",
+         "fps", "peak frames", "degraded"], rows)
+
+    longest_segment = max(s.n_frames for s in package.segments)
+    save_results("playback", {
+        "n_frames": clip.n_frames,
+        "n_segments": len(package.segments),
+        "longest_segment_frames": longest_segment,
+        "native_fps": clip.fps,
+        "clean": {
+            "stage_seconds": clean.telemetry.stage_seconds,
+            "achieved_fps": clean.telemetry.achieved_fps,
+            "startup_seconds": clean.telemetry.startup_seconds,
+            "stall_seconds": clean.telemetry.stall_seconds,
+            "peak_resident_frames": clean.telemetry.peak_resident_frames,
+            "cache_hit_rate": clean.telemetry.cache_hit_rate,
+            "mean_psnr": clean.mean_psnr,
+        },
+        "lossy": {
+            "stage_seconds": lossy.telemetry.stage_seconds,
+            "achieved_fps": lossy.telemetry.achieved_fps,
+            "stall_seconds": lossy.telemetry.stall_seconds,
+            "stall_ratio": stall_ratio(lossy.telemetry),
+            "goodput_bps": session_goodput_bps(lossy),
+            "download_attempts": lossy.telemetry.download_attempts,
+            "peak_resident_frames": lossy.telemetry.peak_resident_frames,
+            "skipped_segments": lossy.skipped_segments,
+            "fallback_segments": lossy.fallback_segments,
+            "mean_psnr": lossy.mean_psnr,
+        },
+    })
+
+    # The bounded-memory contract: the session never holds more than one
+    # segment's frames (plus the held concealment frame).
+    for result in (clean, lossy):
+        assert result.telemetry.peak_resident_frames <= longest_segment + 1
+        assert result.telemetry.peak_resident_frames < clip.n_frames
+    # Per-stage accounting covers the whole compute budget.
+    assert clean.telemetry.stage_seconds["decode"] > 0
+    assert clean.telemetry.achieved_fps > 0

@@ -78,9 +78,14 @@ def simulate_session(
     for segment in range(ladder.n_segments):
         if playing and buffer_s + ladder.segment_seconds[segment] > max_buffer_s:
             # Buffer full: idle until there is room for the next segment.
+            # Playback can only drain what is actually buffered; a segment
+            # longer than the buffer cap empties the buffer mid-wait and
+            # the remainder of the wait is a stall, not negative buffer.
             wait = buffer_s + ladder.segment_seconds[segment] - max_buffer_s
+            drained = min(wait, buffer_s)
+            result.rebuffer_seconds += wait - drained
             clock += wait
-            buffer_s -= wait
+            buffer_s -= drained
         level = policy.choose(ladder, segment, estimate, buffer_s)
         seg_bits = ladder.levels[level].segment_bits[segment]
         extra = policy.extra_bits(segment, level)

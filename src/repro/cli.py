@@ -63,6 +63,21 @@ def build_parser() -> argparse.ArgumentParser:
     play.add_argument("package", help="package directory")
     play.add_argument("--reference", default=None,
                       help="original video .npz for quality scoring")
+    play.add_argument("--fail-rate", type=float, default=0.0,
+                      help="injected per-download failure probability "
+                           "(simulated network; 0 disables)")
+    play.add_argument("--latency", type=float, default=0.0,
+                      help="simulated per-request latency in seconds")
+    play.add_argument("--bandwidth", type=float, default=None,
+                      help="simulated link bandwidth in bit/s "
+                           "(default: instantaneous)")
+    play.add_argument("--retries", type=int, default=3,
+                      help="retry budget per download (with backoff)")
+    play.add_argument("--fallback", action="store_true",
+                      help="play segments whose model fetch fails through "
+                           "a passthrough enhancer instead of raising")
+    play.add_argument("--net-seed", type=int, default=0,
+                      help="failure-injection RNG seed")
 
     plan = sub.add_parser("plan", help="device feasibility table")
     plan.add_argument("--device", default="jetson",
@@ -150,19 +165,39 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_play(args) -> int:
-    from .core import DcsrClient, load_package
+    from .core import (
+        DcsrClient,
+        NetworkConfig,
+        RetryPolicy,
+        SimulatedNetwork,
+        load_package,
+    )
 
     package = load_package(args.package)
     reference = _load_clip(args.reference).frames if args.reference else None
-    result = DcsrClient(package).play(reference)
+    network = None
+    if args.fail_rate > 0 or args.latency > 0 or args.bandwidth is not None:
+        network = SimulatedNetwork(NetworkConfig(
+            fail_rate=args.fail_rate, latency_s=args.latency,
+            bandwidth_bps=args.bandwidth, seed=args.net_seed))
+    client = DcsrClient(package, network=network,
+                        retry=RetryPolicy(retries=args.retries),
+                        fallback=args.fallback)
+    result = client.play(reference)
     print(f"played {len(result.frames)} frames, "
           f"{result.sr_inferences} SR inferences")
     print(f"downloaded: video {result.video_bytes / 1024:.0f} KiB + "
           f"models {result.model_bytes / 1024:.0f} KiB "
           f"(labels {result.model_downloads})")
+    if result.skipped_segments:
+        print(f"concealed segments: {result.skipped_segments}")
+    if result.fallback_segments:
+        print(f"fallback segments: {result.fallback_segments}")
     if reference is not None:
         print(f"quality: {result.mean_psnr:.2f} dB PSNR, "
               f"{result.mean_ssim:.3f} SSIM")
+    for line in result.telemetry.summary_lines():
+        print(line)
     return 0
 
 

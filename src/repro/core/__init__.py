@@ -11,8 +11,24 @@ from .baselines import (
     train_big_model,
 )
 from .cache import CacheStats, ModelCache, simulate_caching
-from .client import DcsrClient, PlaybackResult, enhance_yuv_frame
+from .client import (
+    PLAYBACK_STAGES,
+    DcsrClient,
+    PlaybackResult,
+    PlaybackTelemetry,
+    PlayedFrame,
+    SegmentPlayback,
+    enhance_yuv_frame,
+)
 from .manifest import SegmentRecord, VideoManifest
+from .network import (
+    DownloadError,
+    DownloadStats,
+    NetworkConfig,
+    RetryPolicy,
+    SimulatedNetwork,
+    download_with_retry,
+)
 from .parallel import (
     BuildTelemetry,
     ClusterTrainingError,
@@ -24,7 +40,9 @@ from .streaming import (
     BandwidthUsage,
     bandwidth_of,
     normalized_usage,
+    session_goodput_bps,
     session_power,
+    stall_ratio,
     startup_comparison,
     startup_delay,
 )
@@ -48,6 +66,16 @@ __all__ = [
     "prepare_video",
     "DcsrClient",
     "PlaybackResult",
+    "PlaybackTelemetry",
+    "PlayedFrame",
+    "SegmentPlayback",
+    "PLAYBACK_STAGES",
+    "NetworkConfig",
+    "SimulatedNetwork",
+    "DownloadError",
+    "DownloadStats",
+    "RetryPolicy",
+    "download_with_retry",
     "enhance_yuv_frame",
     "BigModelBaseline",
     "train_big_model",
@@ -62,6 +90,8 @@ __all__ = [
     "bandwidth_of",
     "normalized_usage",
     "session_power",
+    "session_goodput_bps",
+    "stall_ratio",
     "startup_delay",
     "startup_comparison",
 ]

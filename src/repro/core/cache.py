@@ -24,6 +24,7 @@ class CacheStats:
     downloads: int = 0
     hits: int = 0
     evictions: int = 0
+    failed_fetches: int = 0
     downloaded_labels: list[int] = field(default_factory=list)
 
     @property
@@ -67,7 +68,13 @@ class ModelCache(Generic[M]):
             self.stats.hits += 1
             self._store.move_to_end(label)
             return self._store[label]
-        model = self._fetch(label)
+        try:
+            model = self._fetch(label)
+        except Exception:
+            # A failed fetch never counts as a download and never caches;
+            # the caller may retry (or fall back) on the next request.
+            self.stats.failed_fetches += 1
+            raise
         self.stats.downloads += 1
         self.stats.downloaded_labels.append(label)
         self._store[label] = model

@@ -1,21 +1,44 @@
-"""Client-side dcSR (Section 3.2, Figure 6).
+"""Client-side dcSR (Section 3.2, Figure 6): the streaming session engine.
 
-Streams a :class:`~repro.core.server.DcsrPackage` segment by segment:
+Plays a :class:`~repro.core.server.DcsrPackage` segment by segment as a
+bounded-memory generator session (:meth:`DcsrClient.iter_frames`):
 
-1. download the segment (bytes counted);
+1. download the segment over the (optionally simulated) network, with
+   retry + exponential backoff on injected failures;
 2. check the manifest's model label against the cache; download the micro
-   model only on a miss (Algorithm 1);
+   model only on a miss (Algorithm 1), with the same retry budget;
 3. decode the segment with the SR hook installed: each I frame is pulled
    out of the decoded-picture buffer, converted YUV -> RGB, enhanced by the
    segment's micro model, converted back, and written back into the DPB so
    every P/B frame reconstructs from the enhanced reference;
-4. emit display-order frames and per-frame quality against the pristine
-   original.
+4. emit display-order frames (one segment resident at a time) and
+   per-frame quality against the pristine original.
+
+Failure semantics (the paths a real CDN exercises daily):
+
+- **Corrupt bitstream** (:class:`~repro.video.codec.DecodeError` /
+  ``EOFError``) or a segment download that exhausts its retry budget →
+  the session *conceals*: it holds the last good frame for the segment's
+  duration, records the segment in ``PlaybackResult.skipped_segments``,
+  and keeps playing.
+- **Model fetch failure** (missing from the package, or download retries
+  exhausted) → with ``fallback=True`` the segment plays *unenhanced*
+  (passthrough — the LOW baseline for that segment, bit-identical to the
+  plain decode) and is recorded in
+  ``PlaybackResult.fallback_segments``; with the default strict mode the
+  error propagates.
+
+Every session carries a :class:`PlaybackTelemetry`: per-segment and
+per-stage wall time (download / decode / SR / YUV<->RGB), achieved FPS vs
+the package's native FPS, stall seconds under a simple playout clock, the
+model-cache hit rate, and the peak number of frames resident at once.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -24,9 +47,28 @@ from ..video import rgb_to_yuv420, yuv420_to_rgb
 from ..video.frame import YuvFrame
 from ..video.quality import psnr, ssim
 from .cache import CacheStats, ModelCache
+from .network import (
+    DownloadError,
+    RetryPolicy,
+    SimulatedNetwork,
+    download_with_retry,
+)
 from .server import DcsrPackage
 
-__all__ = ["PlaybackResult", "DcsrClient", "enhance_yuv_frame"]
+__all__ = [
+    "PLAYBACK_STAGES",
+    "SegmentPlayback",
+    "PlaybackTelemetry",
+    "PlayedFrame",
+    "PlaybackResult",
+    "DcsrClient",
+    "enhance_yuv_frame",
+]
+
+#: Stage names recorded in :attr:`PlaybackTelemetry.stage_seconds`, in
+#: playback order.  ``color`` is both YUV->RGB directions (display path
+#: and inside the SR hook).
+PLAYBACK_STAGES = ("download", "decode", "sr", "color")
 
 
 def enhance_yuv_frame(model: EDSR, frame: YuvFrame) -> YuvFrame:
@@ -34,6 +76,85 @@ def enhance_yuv_frame(model: EDSR, frame: YuvFrame) -> YuvFrame:
     rgb = yuv420_to_rgb(frame)
     enhanced = model.enhance(rgb)
     return rgb_to_yuv420(enhanced)
+
+
+@dataclass
+class SegmentPlayback:
+    """Per-segment telemetry of one streaming session."""
+
+    index: int
+    status: str = "ok"              # ok | concealed | fallback
+    n_frames: int = 0
+    download_attempts: int = 0
+    sr_inferences: int = 0
+    download_s: float = 0.0
+    decode_s: float = 0.0
+    sr_s: float = 0.0
+    color_s: float = 0.0
+
+
+@dataclass
+class PlaybackTelemetry:
+    """Where one playback session's time went (client mirror of
+    :class:`~repro.core.parallel.BuildTelemetry`).
+
+    ``download`` seconds are *simulated* network time (including retries
+    and backoff); ``decode``/``sr``/``color`` are measured wall time.
+    ``stall_seconds`` comes from a simple playout clock: each segment must
+    be ready by the time the previous one finishes displaying at
+    ``native_fps``, and lateness accrues as a stall.
+    """
+
+    native_fps: float = 0.0
+    segments: list[SegmentPlayback] = field(default_factory=list)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    achieved_fps: float = 0.0
+    startup_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    download_attempts: int = 0
+    peak_resident_frames: int = 0
+    cache_hit_rate: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    @property
+    def n_concealed(self) -> int:
+        return sum(1 for s in self.segments if s.status == "concealed")
+
+    @property
+    def n_fallback(self) -> int:
+        return sum(1 for s in self.segments if s.status == "fallback")
+
+    def summary_lines(self) -> list[str]:
+        """A printable per-stage breakdown (CLI ``play``)."""
+        lines = [f"playback stages ({len(self.segments)} segments):"]
+        for name in PLAYBACK_STAGES:
+            if name in self.stage_seconds:
+                lines.append(f"  {name:<9} {self.stage_seconds[name]:7.3f}s")
+        lines.append(f"  {'total':<9} {self.total_seconds:7.3f}s")
+        lines.append(f"  fps        {self.achieved_fps:.1f} achieved "
+                     f"vs {self.native_fps:g} native")
+        lines.append(f"  stalls     {self.stall_seconds:.3f}s "
+                     f"(startup {self.startup_seconds:.3f}s)")
+        lines.append(f"  network    {self.download_attempts} attempts, "
+                     f"cache hit rate {self.cache_hit_rate:.0%}")
+        if self.n_concealed or self.n_fallback:
+            lines.append(f"  degraded   {self.n_concealed} concealed, "
+                         f"{self.n_fallback} fallback segments")
+        return lines
+
+
+@dataclass(frozen=True)
+class PlayedFrame:
+    """One display-order frame emitted by :meth:`DcsrClient.iter_frames`."""
+
+    display: int
+    segment_index: int
+    ftype: str                      # I / P / B, or C for a concealed frame
+    rgb: np.ndarray
+    concealed: bool = False
 
 
 @dataclass
@@ -49,6 +170,9 @@ class PlaybackResult:
     model_downloads: list[int] = field(default_factory=list)
     cache_stats: CacheStats | None = None
     sr_inferences: int = 0
+    skipped_segments: list[int] = field(default_factory=list)
+    fallback_segments: list[int] = field(default_factory=list)
+    telemetry: PlaybackTelemetry | None = None
 
     @property
     def total_bytes(self) -> int:
@@ -56,75 +180,292 @@ class PlaybackResult:
 
     @property
     def mean_psnr(self) -> float:
+        """Mean finite per-frame PSNR.
+
+        ``nan`` when no reference was supplied (unmeasured is not
+        perfect); ``inf`` only when every scored frame was genuinely
+        lossless.
+        """
+        if not self.psnr_per_frame:
+            return float("nan")
         finite = [p for p in self.psnr_per_frame if np.isfinite(p)]
         return float(np.mean(finite)) if finite else float("inf")
 
     @property
     def mean_ssim(self) -> float:
-        return float(np.mean(self.ssim_per_frame)) if self.ssim_per_frame else 1.0
+        """Mean per-frame SSIM, or ``nan`` when quality was not measured."""
+        if not self.ssim_per_frame:
+            return float("nan")
+        return float(np.mean(self.ssim_per_frame))
 
 
 class DcsrClient:
-    """Plays a dcSR package through the SR-integrated decoder."""
+    """Plays a dcSR package through the SR-integrated decoder.
 
-    def __init__(self, package: DcsrPackage, cache_capacity: int | None = None):
+    Parameters
+    ----------
+    package:
+        The :class:`~repro.core.server.DcsrPackage` (or duck-typed
+        :class:`~repro.core.persist.StoredPackage`) to stream.
+    cache_capacity:
+        Optional LRU bound on the model cache.
+    network:
+        Optional :class:`~repro.core.network.SimulatedNetwork`; when
+        given, every segment and model download goes through it (latency,
+        bandwidth, and failure injection).  ``None`` keeps downloads
+        instantaneous and infallible.
+    retry:
+        :class:`~repro.core.network.RetryPolicy` for downloads over the
+        simulated network (default: no retries).
+    fallback:
+        When ``True``, a segment whose micro model cannot be fetched
+        plays unenhanced (passthrough) instead of raising.
+    """
+
+    def __init__(self, package: DcsrPackage, cache_capacity: int | None = None,
+                 network: SimulatedNetwork | None = None,
+                 retry: RetryPolicy | None = None,
+                 fallback: bool = False):
         self.package = package
         self._cache: ModelCache[EDSR] = ModelCache(
             fetch=self._download_model, capacity=cache_capacity)
+        self._network = network
+        self._retry = retry
+        self._fallback = bool(fallback)
         self._model_bytes = 0
+        self._fetch_seconds = 0.0
+        self._fetch_attempts = 0
+        self.last_result: PlaybackResult | None = None
 
     def _download_model(self, label: int) -> EDSR:
         model = self.package.models.get(label)
         if model is None:
             raise KeyError(f"manifest references missing model {label}")
-        self._model_bytes += self.package.manifest.model_sizes[label]
+        size = self.package.manifest.model_sizes[label]
+        if self._network is not None:
+            seconds, attempts = download_with_retry(
+                self._network, self._retry, "model", label, size)
+            self._fetch_seconds += seconds
+            self._fetch_attempts += attempts
+        self._model_bytes += size
         return model
 
     def play(self, reference_frames: np.ndarray | None = None) -> PlaybackResult:
         """Stream every segment; optionally score against ``reference_frames``.
 
         ``reference_frames`` is the pristine ``(T, H, W, 3)`` original; when
-        omitted, quality lists stay empty.
+        omitted, quality lists stay empty.  This is the materializing
+        wrapper around :meth:`iter_frames`: every RGB frame is retained in
+        the result, so memory grows with the video.  Byte counts, quality
+        lists, and telemetry are identical between the two entry points.
         """
-        from ..video.codec import Decoder
+        result = PlaybackResult()
+        for frame in self.iter_frames(reference_frames, result=result):
+            result.frames.append(frame.rgb)
+        return result
+
+    def iter_frames(
+        self, reference_frames: np.ndarray | None = None, *,
+        result: PlaybackResult | None = None,
+    ) -> Iterator[PlayedFrame]:
+        """Bounded-memory streaming session: yield display-order frames.
+
+        At most one segment's decoded frames (plus one held concealment
+        frame) are resident at a time; the caller decides what to retain.
+        Accounting (bytes, quality, telemetry, degradation lists — all of
+        :class:`PlaybackResult` except ``frames``) accumulates into
+        ``result`` as the generator runs and is finalized when the
+        generator is exhausted or closed; the same object is exposed as
+        ``self.last_result``.
+        """
+        from ..video.codec import DecodeError, Decoder
 
         package = self.package
+        result = result if result is not None else PlaybackResult()
+        self.last_result = result
         self._model_bytes = 0
-        result = PlaybackResult()
-        decoded_by_display: dict[int, tuple[str, np.ndarray]] = {}
-        inferences = 0
+        width, height = package.encoded.width, package.encoded.height
+        fps = package.encoded.fps
+        telemetry = PlaybackTelemetry(native_fps=fps)
+        result.telemetry = telemetry
 
-        for segment, encoded_segment in zip(package.segments,
-                                            package.encoded.segments):
-            label = package.manifest.model_label_for(segment.index)
+        decoder = Decoder(
+            hook_display_only=not package.manifest.enhance_in_loop)
+        last_good: YuvFrame | None = None
+        clock = 0.0            # simulated session clock (download + compute)
+        next_deadline: float | None = None
+
+        try:
+            for segment, encoded_segment in zip(package.segments,
+                                                package.encoded.segments):
+                seg_t = SegmentPlayback(index=segment.index,
+                                        n_frames=segment.n_frames)
+                telemetry.segments.append(seg_t)
+
+                model = self._acquire_model(segment.index, seg_t, result)
+                decoded = None
+                if self._fetch_segment(encoded_segment, seg_t, result):
+                    # Passthrough fallback decodes with no hook at all —
+                    # bit-identical to the plain (LOW) decode.
+                    decoder.i_frame_hook = (
+                        None if model is None
+                        else self._timed_hook(model, seg_t))
+                    t0 = time.perf_counter()
+                    try:
+                        decoded = decoder.decode_segment(
+                            encoded_segment, width, height)
+                    except (DecodeError, EOFError):
+                        decoded = None
+                    wall = time.perf_counter() - t0
+                    seg_t.decode_s = max(0.0, wall - seg_t.sr_s - seg_t.color_s)
+
+                if decoded is None:
+                    if seg_t.status == "fallback":
+                        # Superseded: none of its frames play, so the
+                        # segment is concealed, not degraded-but-played.
+                        result.fallback_segments.remove(segment.index)
+                    seg_t.status = "concealed"
+                    result.skipped_segments.append(segment.index)
+                    telemetry.peak_resident_frames = max(
+                        telemetry.peak_resident_frames, 1)
+                    emit = self._concealed_frames(segment, last_good,
+                                                  height, width)
+                else:
+                    telemetry.peak_resident_frames = max(
+                        telemetry.peak_resident_frames,
+                        len(decoded) + (1 if last_good is not None else 0))
+                    emit = sorted(decoded, key=lambda d: d.display)
+
+                clock += seg_t.download_s + seg_t.decode_s + seg_t.sr_s \
+                    + seg_t.color_s
+                if next_deadline is None:
+                    telemetry.startup_seconds = clock
+                    next_deadline = clock
+                telemetry.stall_seconds += max(0.0, clock - next_deadline)
+                next_deadline = max(clock, next_deadline) \
+                    + segment.n_frames / fps
+
+                for item in emit:
+                    concealed = decoded is None
+                    if concealed:
+                        rgb = item.rgb
+                    else:
+                        t0 = time.perf_counter()
+                        rgb = yuv420_to_rgb(item.frame)
+                        seg_t.color_s += time.perf_counter() - t0
+                        last_good = item.frame
+                    result.frame_types.append(item.ftype)
+                    if reference_frames is not None:
+                        ref = reference_frames[item.display]
+                        result.psnr_per_frame.append(psnr(rgb, ref))
+                        result.ssim_per_frame.append(ssim(rgb, ref))
+                    yield PlayedFrame(display=item.display,
+                                      segment_index=segment.index,
+                                      ftype=item.ftype, rgb=rgb,
+                                      concealed=concealed)
+        finally:
+            self._finalize(result, telemetry)
+
+    # ------------------------------------------------------------------
+    # Session internals.
+
+    def _acquire_model(self, segment_index: int, seg_t: SegmentPlayback,
+                       result: PlaybackResult) -> EDSR | None:
+        """The segment's micro model, or — on a fetch failure with
+        ``fallback=True`` — ``None`` (play unenhanced), with the
+        degradation recorded.  Strict mode re-raises."""
+        label = self.package.manifest.model_label_for(segment_index)
+        self._fetch_seconds = 0.0
+        self._fetch_attempts = 0
+        try:
             model = self._cache.get(label)
+        except (KeyError, DownloadError) as exc:
+            if isinstance(exc, DownloadError):
+                self._fetch_seconds += exc.seconds
+                self._fetch_attempts += exc.attempts
+            seg_t.download_s += self._fetch_seconds
+            seg_t.download_attempts += self._fetch_attempts
+            if not self._fallback:
+                raise
+            seg_t.status = "fallback"
+            result.fallback_segments.append(segment_index)
+            return None
+        seg_t.download_s += self._fetch_seconds
+        seg_t.download_attempts += self._fetch_attempts
+        return model
+
+    def _fetch_segment(self, encoded_segment, seg_t: SegmentPlayback,
+                       result: PlaybackResult) -> bool:
+        """Download one segment; ``False`` means conceal (budget exhausted)."""
+        if self._network is None:
             result.video_bytes += encoded_segment.n_bytes
+            seg_t.download_attempts += 1
+            return True
+        try:
+            seconds, attempts = download_with_retry(
+                self._network, self._retry, "segment",
+                encoded_segment.index, encoded_segment.n_bytes)
+        except DownloadError as exc:
+            seg_t.download_s += exc.seconds
+            seg_t.download_attempts += exc.attempts
+            return False
+        seg_t.download_s += seconds
+        seg_t.download_attempts += attempts
+        result.video_bytes += encoded_segment.n_bytes
+        return True
 
-            def hook(frame: YuvFrame, display: int, model=model) -> YuvFrame:
-                nonlocal inferences
-                inferences += 1
-                return enhance_yuv_frame(model, frame)
+    def _timed_hook(self, model, seg_t: SegmentPlayback):
+        """Figure 6's enhancement hook with per-stage timing attached."""
+        def hook(frame: YuvFrame, display: int) -> YuvFrame:
+            t0 = time.perf_counter()
+            rgb = yuv420_to_rgb(frame)
+            t1 = time.perf_counter()
+            enhanced = model.enhance(rgb)
+            t2 = time.perf_counter()
+            out = rgb_to_yuv420(enhanced)
+            t3 = time.perf_counter()
+            seg_t.color_s += (t1 - t0) + (t3 - t2)
+            seg_t.sr_s += t2 - t1
+            seg_t.sr_inferences += 1
+            return out
+        return hook
 
-            decoder = Decoder(
-                i_frame_hook=hook,
-                hook_display_only=not package.manifest.enhance_in_loop)
-            for item in decoder.decode_segment(encoded_segment,
-                                               package.encoded.width,
-                                               package.encoded.height):
-                decoded_by_display[item.display] = (
-                    item.ftype, yuv420_to_rgb(item.frame))
+    @staticmethod
+    def _concealed_frames(segment, last_good: YuvFrame | None,
+                          height: int, width: int):
+        """Display-order stand-ins for an unplayable segment.
 
-        for display in sorted(decoded_by_display):
-            ftype, rgb = decoded_by_display[display]
-            result.frames.append(rgb)
-            result.frame_types.append(ftype)
-            if reference_frames is not None:
-                ref = reference_frames[display]
-                result.psnr_per_frame.append(psnr(rgb, ref))
-                result.ssim_per_frame.append(ssim(rgb, ref))
+        Holds the last good frame (converted once, shared by every
+        concealed display); a loss before any good frame shows black.
+        """
+        @dataclass(frozen=True)
+        class _Held:
+            display: int
+            ftype: str
+            rgb: np.ndarray
 
+        if last_good is not None:
+            rgb = yuv420_to_rgb(last_good)
+        else:
+            rgb = np.zeros((height, width, 3), dtype=np.float32)
+        return [_Held(display=d, ftype="C", rgb=rgb)
+                for d in range(segment.start, segment.end)]
+
+    def _finalize(self, result: PlaybackResult,
+                  telemetry: PlaybackTelemetry) -> None:
         result.model_bytes = self._model_bytes
         result.model_downloads = list(self._cache.stats.downloaded_labels)
         result.cache_stats = self._cache.stats
-        result.sr_inferences = inferences
-        return result
+        result.sr_inferences = sum(s.sr_inferences
+                                   for s in telemetry.segments)
+        for name in PLAYBACK_STAGES:
+            total = sum(getattr(s, f"{name}_s") for s in telemetry.segments)
+            if total or name in ("download", "decode"):
+                telemetry.stage_seconds[name] = total
+        telemetry.download_attempts = sum(s.download_attempts
+                                          for s in telemetry.segments)
+        telemetry.cache_hit_rate = self._cache.stats.hit_rate
+        n_frames = sum(s.n_frames for s in telemetry.segments)
+        compute = sum(telemetry.stage_seconds.get(k, 0.0)
+                      for k in ("decode", "sr", "color"))
+        telemetry.achieved_fps = n_frames / max(compute, 1e-9)

@@ -12,10 +12,11 @@ from dataclasses import dataclass
 from ..devices import DeviceSpec, inference_seconds, sr_power_draw
 from ..devices.power import PowerTimeline, playback_power_schedule, simulate_power
 from ..sr.edsr import EDSR
-from .client import PlaybackResult
+from .client import PlaybackResult, PlaybackTelemetry
 
 __all__ = ["BandwidthUsage", "bandwidth_of", "normalized_usage",
-           "session_power", "startup_delay", "startup_comparison"]
+           "session_goodput_bps", "session_power", "stall_ratio",
+           "startup_delay", "startup_comparison"]
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,34 @@ def startup_comparison(package, big_model_bytes: int,
         "dcSR": startup_delay(bandwidth_bps, first_segment, first_micro),
         "LOW": startup_delay(bandwidth_bps, first_segment, 0),
     }
+
+
+def stall_ratio(telemetry: PlaybackTelemetry) -> float:
+    """Fraction of the viewing session spent stalled.
+
+    Media time is what the playout clock owes the viewer
+    (frames / native fps); stalls extend the session beyond it.
+    """
+    n_frames = sum(seg.n_frames for seg in telemetry.segments)
+    media_s = n_frames / telemetry.native_fps if telemetry.native_fps > 0 else 0.0
+    session_s = media_s + telemetry.stall_seconds
+    if session_s <= 0:
+        return 0.0
+    return telemetry.stall_seconds / session_s
+
+
+def session_goodput_bps(result: PlaybackResult) -> float:
+    """Delivered payload bits per second of time spent downloading.
+
+    Failed attempts burn download time without delivering bytes, so
+    injected loss shows up directly as a goodput drop.
+    """
+    if result.telemetry is None:
+        raise ValueError("result carries no telemetry")
+    download_s = result.telemetry.stage_seconds.get("download", 0.0)
+    if download_s <= 0:
+        return 0.0
+    return 8.0 * (result.video_bytes + result.model_bytes) / download_s
 
 
 def session_power(

@@ -6,7 +6,16 @@ dcSR depends on.
 """
 
 from .bitstream import BitReader, BitWriter
-from .decoder import DecodedFrame, DecodedVideo, Decoder, IFrameHook
+from .decoder import (
+    CorruptStreamError,
+    DecodedFrame,
+    DecodedVideo,
+    DecodeError,
+    Decoder,
+    IFrameHook,
+    SegmentMetadataError,
+    TruncatedStreamError,
+)
 from .dct import BLOCK, dct_matrix, forward_dct, from_blocks, inverse_dct, to_blocks
 from .encoder import (
     CodecConfig,
@@ -57,6 +66,10 @@ __all__ = [
     "Decoder",
     "DecodedFrame",
     "DecodedVideo",
+    "DecodeError",
+    "CorruptStreamError",
+    "TruncatedStreamError",
+    "SegmentMetadataError",
     "IFrameHook",
     "RateControlResult",
     "encode_to_target_size",

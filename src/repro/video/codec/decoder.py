@@ -24,7 +24,38 @@ from .motion import MB
 from .quant import qp_for_frame_type
 from .residual import decode_mb_residual, decode_plane_intra
 
-__all__ = ["DecodedFrame", "DecodedVideo", "Decoder", "IFrameHook"]
+__all__ = [
+    "DecodeError",
+    "CorruptStreamError",
+    "TruncatedStreamError",
+    "SegmentMetadataError",
+    "DecodedFrame",
+    "DecodedVideo",
+    "Decoder",
+    "IFrameHook",
+]
+
+
+class DecodeError(ValueError):
+    """Base of all bitstream decode failures.
+
+    Subclasses ``ValueError`` so pre-typed callers keep working; the
+    streaming client catches this (plus ``EOFError``) to distinguish
+    *corrupt input* — concealable — from client bugs such as a broken
+    enhancement hook, which keep raising ``TypeError``/``RuntimeError``.
+    """
+
+
+class CorruptStreamError(DecodeError):
+    """The payload violates the bitstream grammar (bad code, missing ref)."""
+
+
+class TruncatedStreamError(CorruptStreamError, EOFError):
+    """The payload ended mid-frame (also an ``EOFError`` for old callers)."""
+
+
+class SegmentMetadataError(DecodeError):
+    """Segment header and out-of-band metadata disagree."""
 
 #: Hook signature: ``(frame, display_index) -> enhanced frame``.
 IFrameHook = Callable[[YuvFrame, int], YuvFrame]
@@ -86,13 +117,20 @@ class Decoder:
         self.hook_display_only = bool(hook_display_only)
         self._hook_invocations = 0
 
+    @property
+    def hook_invocations(self) -> int:
+        """Hook calls made by the most recent ``decode_segment`` (or the
+        whole of the most recent ``decode_video``)."""
+        return self._hook_invocations
+
     def decode_video(self, encoded: EncodedVideo) -> DecodedVideo:
         """Decode all segments into display order."""
-        self._hook_invocations = 0
+        total_invocations = 0
         by_display: dict[int, DecodedFrame] = {}
         for seg in encoded.segments:
             for decoded in self.decode_segment(seg, encoded.width, encoded.height):
                 by_display[decoded.display] = decoded
+            total_invocations += self._hook_invocations
         result = DecodedVideo(width=encoded.width, height=encoded.height,
                               fps=encoded.fps)
         for display in sorted(by_display):
@@ -100,23 +138,43 @@ class Decoder:
             result.frames.append(item.frame)
             result.frame_types.append(item.ftype)
             result.frame_bits.append(item.n_bits)
-        result.hook_invocations = self._hook_invocations
+        self._hook_invocations = total_invocations
+        result.hook_invocations = total_invocations
         return result
 
     def decode_segment(
         self, segment: EncodedSegment, width: int, height: int,
     ) -> list[DecodedFrame]:
-        """Decode one closed-GOP segment (frames returned in decode order)."""
+        """Decode one closed-GOP segment (frames returned in decode order).
+
+        The hook-invocation counter is reset on entry, so a single decoder
+        reused across segments (the streaming session engine does this)
+        reports per-segment counts instead of accumulating stale ones.
+        """
         if height % MB or width % MB:
             raise ValueError(f"frame size {(height, width)} must be multiples of {MB}")
+        self._hook_invocations = 0
         reader = BitReader(segment.payload)
+        try:
+            return self._decode_segment_frames(reader, segment, width, height)
+        except EOFError as exc:
+            if isinstance(exc, DecodeError):
+                raise
+            raise TruncatedStreamError(
+                f"segment {segment.index}: payload truncated "
+                f"({segment.n_bytes} bytes)") from exc
+
+    def _decode_segment_frames(
+        self, reader: BitReader, segment: EncodedSegment,
+        width: int, height: int,
+    ) -> list[DecodedFrame]:
         qp = reader.read_uint(8)
         flags = reader.read_uint(8)
         deblock = bool(flags & 1)
         half_pel = bool(flags & 2)
         n_frames = read_ue(reader)
         if n_frames != segment.n_frames:
-            raise ValueError(
+            raise SegmentMetadataError(
                 f"segment {segment.index}: header says {n_frames} frames, "
                 f"metadata says {segment.n_frames}"
             )
@@ -168,7 +226,8 @@ class Decoder:
     ) -> tuple[int, str, YuvFrame]:
         code = read_ue(reader)
         if code not in _TYPE_FROM_CODE:
-            raise ValueError(f"corrupt stream: unknown frame type code {code}")
+            raise CorruptStreamError(
+                f"corrupt stream: unknown frame type code {code}")
         ftype = _TYPE_FROM_CODE[code]
         display = seg_start + read_ue(reader)
         qp = qp_for_frame_type(qp, ftype)
@@ -192,7 +251,7 @@ class Decoder:
     @staticmethod
     def _ref(dpb: dict[int, YuvFrame], display: int) -> YuvFrame:
         if display not in dpb:
-            raise ValueError(
+            raise CorruptStreamError(
                 f"corrupt stream: reference frame {display} not in DPB")
         return dpb[display]
 
@@ -210,7 +269,8 @@ class Decoder:
                 if len(refs) == 2:
                     mode = read_ue(reader)
                     if mode not in (0, 1, 2):
-                        raise ValueError(f"corrupt stream: B-frame mode {mode}")
+                        raise CorruptStreamError(
+                            f"corrupt stream: B-frame mode {mode}")
                 else:
                     mode = 0
                 n_mvs = 2 if mode == 2 else 1

@@ -222,6 +222,31 @@ class TestSimulation:
         # After the estimate converges the policy must have shifted down.
         assert result.levels[-1] > result.levels[0]
 
+    def test_oversized_segment_clamps_drain_and_books_rebuffer(self):
+        """Regression: a segment longer than ``max_buffer_s`` used to drive
+        the buffer negative in the buffer-full wait and feed that negative
+        value to the policy.  The drain must clamp to the buffered amount,
+        the remainder must surface as rebuffering, and the policy must
+        never see a negative buffer."""
+        seen_buffers = []
+
+        class SpyAbr(ThroughputAbr):
+            def choose(self, ladder, segment, estimate, buffer_s):
+                seen_buffers.append(buffer_s)
+                return super().choose(ladder, segment, estimate, buffer_s)
+
+        seg_s, max_buffer = 10.0, 8.0
+        ladder = _ladder(n_segments=4, seconds=seg_s)
+        result = simulate_session(ladder, SpyAbr(), constant_trace(50e6),
+                                  startup_buffer_s=2.0,
+                                  max_buffer_s=max_buffer)
+        assert all(b >= 0.0 for b in seen_buffers)
+        # Every steady-state segment forces at least (seg_s - max_buffer)
+        # of stall: even a full drain cannot make room for an oversized
+        # segment, so the wait always outlives the buffer.
+        n_steady = ladder.n_segments - 1
+        assert result.rebuffer_seconds >= n_steady * (seg_s - max_buffer)
+
     def test_qoe_penalises_rebuffering(self):
         good = simulate_session(_ladder(), ThroughputAbr(), constant_trace(20e6))
         bad = simulate_session(_ladder(), ThroughputAbr(), constant_trace(0.3e6))

@@ -124,7 +124,9 @@ class TestClientPlayback:
     def test_quality_without_reference_is_empty(self, package):
         result = DcsrClient(package).play()
         assert result.psnr_per_frame == []
-        assert result.mean_ssim == 1.0
+        # Unmeasured quality reads as nan, never as "perfect".
+        assert np.isnan(result.mean_psnr)
+        assert np.isnan(result.mean_ssim)
 
 
 class TestBaselines:
