@@ -78,6 +78,15 @@ def build_parser() -> argparse.ArgumentParser:
                            "a passthrough enhancer instead of raising")
     play.add_argument("--net-seed", type=int, default=0,
                       help="failure-injection RNG seed")
+    play.add_argument("--tile", type=int, default=None, metavar="PX",
+                      help="SR tile edge in pixels (fast path; bounds peak "
+                           "memory, default whole-frame)")
+    play.add_argument("--sr-threads", type=int, default=None, metavar="N",
+                      help="worker threads for tiled SR (fast path; "
+                           "default 1)")
+    play.add_argument("--prefetch", type=int, default=None, metavar="N",
+                      help="segments to download+decode ahead of SR "
+                           "(fast path; default 0 = serial)")
 
     plan = sub.add_parser("plan", help="device feasibility table")
     plan.add_argument("--device", default="jetson",
@@ -167,6 +176,7 @@ def _cmd_info(args) -> int:
 def _cmd_play(args) -> int:
     from .core import (
         DcsrClient,
+        FastPathConfig,
         NetworkConfig,
         RetryPolicy,
         SimulatedNetwork,
@@ -180,9 +190,15 @@ def _cmd_play(args) -> int:
         network = SimulatedNetwork(NetworkConfig(
             fail_rate=args.fail_rate, latency_s=args.latency,
             bandwidth_bps=args.bandwidth, seed=args.net_seed))
+    fast = None
+    if (args.tile is not None or args.sr_threads is not None
+            or args.prefetch is not None):
+        fast = FastPathConfig(tile=args.tile,
+                              sr_threads=args.sr_threads or 1,
+                              prefetch=args.prefetch or 0)
     client = DcsrClient(package, network=network,
                         retry=RetryPolicy(retries=args.retries),
-                        fallback=args.fallback)
+                        fallback=args.fallback, fast_path=fast)
     result = client.play(reference)
     print(f"played {len(result.frames)} frames, "
           f"{result.sr_inferences} SR inferences")

@@ -14,6 +14,7 @@ from .cache import CacheStats, ModelCache, simulate_caching
 from .client import (
     PLAYBACK_STAGES,
     DcsrClient,
+    FastPathConfig,
     PlaybackResult,
     PlaybackTelemetry,
     PlayedFrame,
@@ -65,6 +66,7 @@ __all__ = [
     "build_package",
     "prepare_video",
     "DcsrClient",
+    "FastPathConfig",
     "PlaybackResult",
     "PlaybackTelemetry",
     "PlayedFrame",

@@ -10,6 +10,8 @@ pass.  Everything is fully vectorised; there are no per-pixel Python loops.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
@@ -19,8 +21,14 @@ __all__ = [
     "conv2d_forward",
     "conv2d_backward",
     "conv_output_size",
+    "im2col",
+    "PackedConvWeight",
+    "pack_conv_weight",
+    "conv2d_gemm",
+    "conv2d_shift_nhwc",
     "pixel_shuffle",
     "pixel_unshuffle",
+    "pixel_shuffle_nhwc",
     "avg_pool2d_forward",
     "avg_pool2d_backward",
     "nearest_upsample",
@@ -143,6 +151,161 @@ def conv2d_backward(
     return grad_x, np.ascontiguousarray(grad_w), grad_b
 
 
+# ---------------------------------------------------------------------------
+# GEMM inference fast path.
+#
+# ``conv2d_forward`` stays the reference and training implementation; the
+# functions below are the inference-only path.  Two kernels are provided:
+#
+# - :func:`conv2d_gemm` — classic im2col + one BLAS matmul over NCHW
+#   tensors.  It reproduces ``conv2d_forward`` *bitwise* because the packed
+#   operands use exactly the ``(Cin, KH, KW)`` contraction order and operand
+#   layouts ``tensordot`` reduces to internally, so the same sgemm runs on
+#   the same bits.  General stride/padding; used by ``Conv2d`` inference.
+# - :func:`conv2d_shift_nhwc` — the conv decomposed into one small GEMM per
+#   kernel tap on shifted NHWC views of the padded input.  It never
+#   materializes the KH*KW-times-larger im2col matrix, which on
+#   memory-bound CPUs makes it several times faster than the im2col path;
+#   the price is a different summation order, i.e. float32 reassociation
+#   differences of a few ULP per layer.  Stride 1 / 'same' only — the SR
+#   engine's kernel.
+#
+# Both fuse the bias / ReLU / residual + res_scale epilogues so the
+# activation is touched once while hot in cache.
+
+
+@dataclass(frozen=True)
+class PackedConvWeight:
+    """A conv kernel pre-packed for the GEMM fast path.
+
+    Built once per weight version (:attr:`~repro.nn.tensor.Parameter.version`)
+    and reused across frames; see ``Conv2d.packed``.
+    """
+
+    #: ``(Cout, Cin*KH*KW)`` — the kernel flattened in im2col K-order.
+    mat: np.ndarray
+    #: ``(Cin*KH*KW, Cout)`` C-contiguous — the right-hand GEMM operand
+    #: (same bits ``tensordot`` feeds to sgemm in ``conv2d_forward``).
+    mat_t: np.ndarray
+    #: ``(KH, KW, Cin, Cout)`` — per-tap matrices for the NHWC shift kernel.
+    taps: np.ndarray
+    bias: np.ndarray | None
+    kernel: tuple[int, int]
+
+    @property
+    def out_channels(self) -> int:
+        return self.mat.shape[0]
+
+    @property
+    def in_channels(self) -> int:
+        return self.taps.shape[2]
+
+
+def pack_conv_weight(weight: np.ndarray,
+                     bias: np.ndarray | None) -> PackedConvWeight:
+    """Pack a ``(Cout, Cin, KH, KW)`` kernel for :func:`conv2d_gemm` /
+    :func:`conv2d_shift_nhwc`."""
+    cout, cin, kh, kw = weight.shape
+    # Explicit copy: a view of the live weight would silently track later
+    # in-place updates, defeating version-keyed cache invalidation.
+    mat = weight.reshape(cout, cin * kh * kw).astype(np.float32, copy=True)
+    return PackedConvWeight(
+        mat=mat,
+        mat_t=np.ascontiguousarray(mat.T),
+        taps=np.ascontiguousarray(weight.transpose(2, 3, 1, 0)),
+        bias=None if bias is None else np.ascontiguousarray(bias),
+        kernel=(kh, kw),
+    )
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int = 1,
+           padding: int = 0) -> tuple[np.ndarray, int, int]:
+    """Unfold NCHW ``x`` into a ``(N*OH*OW, Cin*KH*KW)`` patch matrix.
+
+    Column order is ``(Cin, KH, KW)`` — the contraction order of
+    ``conv2d_forward`` — so ``col @ packed.mat_t`` matches the reference
+    bitwise.  Returns ``(col, OH, OW)``.
+    """
+    xp = pad2d(x, padding)
+    win = _windows(xp, kh, kw, stride)            # (N, Cin, OH, OW, KH, KW)
+    n, cin, oh, ow = win.shape[:4]
+    col = win.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, cin * kh * kw)
+    return col, oh, ow
+
+
+def _apply_epilogue(out: np.ndarray, bias: np.ndarray | None, relu: bool,
+                    residual: np.ndarray | None, res_scale: float,
+                    channel_axis: int) -> np.ndarray:
+    """Fused conv epilogue: bias add, then ReLU, then ``res_scale`` and the
+    residual skip add — all in place on ``out``."""
+    if bias is not None:
+        shape = [1] * out.ndim
+        shape[channel_axis] = bias.size
+        out += bias.reshape(shape)
+    if relu:
+        np.maximum(out, 0.0, out=out)
+    if res_scale != 1.0:
+        out *= res_scale
+    if residual is not None:
+        out += residual
+    return out
+
+
+def conv2d_gemm(
+    x: np.ndarray, packed: PackedConvWeight, stride: int = 1,
+    padding: int = 0, relu: bool = False,
+    residual: np.ndarray | None = None, res_scale: float = 1.0,
+) -> np.ndarray:
+    """im2col + single-GEMM convolution over NCHW tensors.
+
+    Bitwise-equal to ``conv2d_forward`` followed by the (optional) ReLU /
+    ``residual + res_scale * out`` epilogue, without retaining anything for
+    a backward pass.
+    """
+    kh, kw = packed.kernel
+    cin = packed.in_channels
+    if x.shape[1] != cin:
+        raise ValueError(f"input has {x.shape[1]} channels, kernel expects {cin}")
+    col, oh, ow = im2col(x, kh, kw, stride, padding)
+    out = col @ packed.mat_t                       # (N*OH*OW, Cout)
+    out = out.reshape(x.shape[0], oh, ow, packed.out_channels)
+    out = np.ascontiguousarray(out.transpose(0, 3, 1, 2))
+    return _apply_epilogue(out, packed.bias, relu, residual, res_scale,
+                           channel_axis=1)
+
+
+def conv2d_shift_nhwc(
+    x: np.ndarray, packed: PackedConvWeight, relu: bool = False,
+    residual: np.ndarray | None = None, res_scale: float = 1.0,
+) -> np.ndarray:
+    """Tap-decomposed convolution over NHWC tensors (stride 1, 'same').
+
+    One ``(W, Cin) @ (Cin, Cout)`` GEMM per kernel tap, accumulated over
+    shifted views of the zero-padded input.  Epilogues are fused as in
+    :func:`conv2d_gemm`; output differs from the reference only by float32
+    reassociation (a few ULP per layer).
+    """
+    kh, kw = packed.kernel
+    n, h, w, cin = x.shape
+    if cin != packed.in_channels:
+        raise ValueError(f"input has {cin} channels, kernel expects "
+                         f"{packed.in_channels}")
+    xp = np.pad(x, [(0, 0), (kh // 2, kh // 2), (kw // 2, kw // 2), (0, 0)])
+    taps = packed.taps
+    acc = np.empty((n, h, w, packed.out_channels), dtype=np.float32)
+    tmp = np.empty_like(acc)
+    first = True
+    for i in range(kh):
+        for j in range(kw):
+            np.matmul(xp[:, i:i + h, j:j + w, :], taps[i, j],
+                      out=acc if first else tmp)
+            if not first:
+                acc += tmp
+            first = False
+    return _apply_epilogue(acc, packed.bias, relu, residual, res_scale,
+                           channel_axis=3)
+
+
 def pixel_shuffle(x: np.ndarray, scale: int) -> np.ndarray:
     """Rearrange ``(N, C*r^2, H, W)`` to ``(N, C, H*r, W*r)`` (sub-pixel conv)."""
     n, c, h, w = x.shape
@@ -165,6 +328,19 @@ def pixel_unshuffle(x: np.ndarray, scale: int) -> np.ndarray:
     x = x.reshape(n, c, h, r, w, r)
     x = x.transpose(0, 1, 3, 5, 2, 4)  # (N, C, r, r, H, W)
     return np.ascontiguousarray(x.reshape(n, c * r * r, h, w))
+
+
+def pixel_shuffle_nhwc(x: np.ndarray, scale: int) -> np.ndarray:
+    """:func:`pixel_shuffle` for NHWC tensors: ``(N, H, W, C*r^2)`` to
+    ``(N, H*r, W*r, C)``, channel-index-compatible with the NCHW version."""
+    n, h, w, c = x.shape
+    r = scale
+    if c % (r * r) != 0:
+        raise ValueError(f"channels {c} not divisible by scale^2 = {r * r}")
+    cout = c // (r * r)
+    x = x.reshape(n, h, w, cout, r, r)
+    x = x.transpose(0, 1, 4, 2, 5, 3)  # (N, H, r, W, r, Cout)
+    return np.ascontiguousarray(x).reshape(n, h * r, w * r, cout)
 
 
 def avg_pool2d_forward(x: np.ndarray, kernel: int) -> np.ndarray:

@@ -2,15 +2,21 @@
 
 Every layer implements:
 
-- ``forward(x)`` — compute the output, caching whatever the backward pass
-  needs on ``self``;
+- ``forward(x, training=True)`` — compute the output.  With
+  ``training=True`` (the default) it caches whatever the backward pass
+  needs on ``self``; with ``training=False`` (or via the ``infer``
+  shorthand) it is **zero-retention**: no activations, masks, or packed
+  inputs are kept alive, so inference holds no training state.
 - ``backward(grad_out)`` — accumulate parameter gradients and return the
   gradient with respect to the layer input;
 - ``parameters()`` — yield the layer's :class:`~repro.nn.tensor.Parameter`
   objects.
 
 Layers are single-use per step: ``backward`` must follow the matching
-``forward``.  ``Sequential`` composes layers into networks.
+``forward(x, training=True)``.  ``Sequential`` composes layers into
+networks.  ``Conv2d`` additionally routes inference through the packed
+im2col GEMM kernel (:func:`repro.nn.functional.conv2d_gemm`), which is
+bitwise-equal to the reference ``conv2d_forward``.
 """
 
 from __future__ import annotations
@@ -45,8 +51,12 @@ __all__ = [
 class Layer:
     """Base class for all layers."""
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         raise NotImplementedError
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Zero-retention forward: no state is cached for a backward pass."""
+        return self.forward(x, training=False)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -61,12 +71,12 @@ class Layer:
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        return self.forward(x)
+    def __call__(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.forward(x, training=training)
 
 
 class Identity(Layer):
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         return x
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -109,8 +119,29 @@ class Conv2d(Layer):
         self.bias = Parameter(winit.zeros((out_channels,)), name=f"{name}.bias") if bias else None
         self._x: np.ndarray | None = None
         self.needs_input_grad = True
+        self._packed: F.PackedConvWeight | None = None
+        self._packed_key: tuple[int, int] | None = None
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def packed(self) -> F.PackedConvWeight:
+        """The kernel pre-packed for the GEMM inference path.
+
+        Packed once and cached; any weight or bias update (tracked through
+        :attr:`Parameter.version`) invalidates the cache, so a model that
+        trains between inferences always infers with fresh weights.
+        """
+        key = (self.weight.version,
+               self.bias.version if self.bias is not None else -1)
+        if self._packed is None or self._packed_key != key:
+            self._packed = F.pack_conv_weight(
+                self.weight.data,
+                self.bias.data if self.bias is not None else None)
+            self._packed_key = key
+        return self._packed
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training:
+            return F.conv2d_gemm(x, self.packed(),
+                                 stride=self.stride, padding=self.padding)
         self._x = x
         return F.conv2d_forward(
             x, self.weight.data,
@@ -153,8 +184,9 @@ class Dense(Layer):
         self.bias = Parameter(winit.zeros((out_features,)), name=f"{name}.bias")
         self._x: np.ndarray | None = None
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        self._x = x
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._x = x
         return x @ self.weight.data + self.bias.data
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -172,7 +204,9 @@ class Dense(Layer):
 
 
 class ReLU(Layer):
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training:
+            return np.maximum(x, 0.0)
         self._mask = x > 0
         return x * self._mask
 
@@ -184,7 +218,9 @@ class LeakyReLU(Layer):
     def __init__(self, slope: float = 0.2):
         self.slope = float(slope)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training:
+            return np.where(x > 0, x, self.slope * x)
         self._mask = x > 0
         return np.where(self._mask, x, self.slope * x)
 
@@ -193,20 +229,25 @@ class LeakyReLU(Layer):
 
 
 class Sigmoid(Layer):
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        # Numerically stable logistic.
-        self._y = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60))),
-                           np.exp(np.clip(x, -60, 60)) / (1.0 + np.exp(np.clip(x, -60, 60))))
-        return self._y.astype(np.float32)
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        # Numerically stable logistic: exp(-|x|) <= 1 never overflows, and
+        # one clip + one exp serve both branches.
+        z = np.exp(-np.abs(np.clip(x, -60, 60)))
+        y = np.where(x >= 0, 1.0 / (1.0 + z), z / (1.0 + z)).astype(np.float32)
+        if training:
+            self._y = y
+        return y
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out * self._y * (1.0 - self._y)
 
 
 class Tanh(Layer):
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        self._y = np.tanh(x)
-        return self._y
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        y = np.tanh(x)
+        if training:
+            self._y = y
+        return y
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out * (1.0 - self._y * self._y)
@@ -215,8 +256,9 @@ class Tanh(Layer):
 class Flatten(Layer):
     """Flatten all but the batch axis."""
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        self._shape = x.shape
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._shape = x.shape
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -229,8 +271,9 @@ class Reshape(Layer):
     def __init__(self, shape: tuple):
         self.shape = tuple(shape)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        self._in_shape = x.shape
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._in_shape = x.shape
         return x.reshape((x.shape[0],) + self.shape)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -245,7 +288,7 @@ class PixelShuffle(Layer):
             raise ValueError("scale must be >= 1")
         self.scale = int(scale)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         return F.pixel_shuffle(x, self.scale)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -258,7 +301,7 @@ class NearestUpsample(Layer):
     def __init__(self, scale: int):
         self.scale = int(scale)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         return F.nearest_upsample(x, self.scale)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -271,7 +314,7 @@ class AvgPool2d(Layer):
     def __init__(self, kernel: int):
         self.kernel = int(kernel)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         return F.avg_pool2d_forward(x, self.kernel)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -284,7 +327,7 @@ class Scale(Layer):
     def __init__(self, value: float):
         self.value = float(value)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         return x * self.value
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -300,9 +343,9 @@ class Sequential(Layer):
     def append(self, layer: Layer) -> None:
         self.layers.append(layer)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         for layer in self.layers:
-            x = layer.forward(x)
+            x = layer.forward(x, training=training)
         return x
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -27,9 +27,33 @@ class Parameter:
     """
 
     def __init__(self, data: np.ndarray, name: str = "param"):
-        self.data = np.asarray(data, dtype=np.float32)
-        self.grad = np.zeros_like(self.data)
+        self._data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self._data)
         self.name = name
+        self._version = 0
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @data.setter
+    def data(self, value: np.ndarray) -> None:
+        self._data = np.asarray(value, dtype=np.float32)
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic update counter used to invalidate derived state.
+
+        Every assignment through ``.data`` bumps it — including augmented
+        assignments like ``p.data -= lr * g`` (Python stores the mutated
+        array back through the setter), which covers all optimizer steps
+        and checkpoint loads.  Direct element writes that never reassign
+        the attribute (``p.data[i] = v``) are invisible to the counter;
+        code that mutates elements in place must reassign ``.data``
+        afterwards if packed-weight caches are in play.
+        """
+        return self._version
 
     @property
     def shape(self) -> tuple:

@@ -14,6 +14,7 @@ from .configs import (
     dcsr_config,
 )
 from .edsr import EDSR, EdsrConfig
+from .engine import EngineStats, InferenceEngine, receptive_field_radius
 from .min_model import (
     MinModelSearch,
     config_grid,
@@ -32,6 +33,9 @@ from .trainer import (
 __all__ = [
     "EDSR",
     "EdsrConfig",
+    "InferenceEngine",
+    "EngineStats",
+    "receptive_field_radius",
     "BicubicSR",
     "DCSR_CONFIGS",
     "dcsr_config",

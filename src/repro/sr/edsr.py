@@ -82,14 +82,15 @@ class EDSR(nn.Layer):
             nn.Conv2d(cfg.n_filters, cfg.in_channels, cfg.kernel_size,
                       rng=rng, name="tail.out"),
         )
+        self._engine = None
 
     # ----------------------------------------------------------- Layer API
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         x = x - _PIXEL_SHIFT
-        x = self.head.forward(x)
-        x = self.body.forward(x)
-        x = self.tail.forward(x)
+        x = self.head.forward(x, training=training)
+        x = self.body.forward(x, training=training)
+        x = self.tail.forward(x, training=training)
         return x + _PIXEL_SHIFT
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -115,19 +116,44 @@ class EDSR(nn.Layer):
     def size_mb(self) -> float:
         return nn.model_size_mb(self)
 
+    def use_fast_path(self, tile: int | None = None, threads: int = 1):
+        """Route :meth:`enhance` / :meth:`enhance_batch` through the tiled
+        NHWC :class:`~repro.sr.engine.InferenceEngine`; returns the engine.
+
+        The engine reads packed weights through the conv layers, so
+        training after attaching it stays safe — the next enhance repacks.
+        """
+        from .engine import InferenceEngine
+
+        self._engine = InferenceEngine(self, tile=tile, threads=threads)
+        return self._engine
+
+    def clear_fast_path(self) -> None:
+        """Detach the fast path; ``enhance`` reverts to the reference forward."""
+        self._engine = None
+
     def enhance(self, rgb: np.ndarray) -> np.ndarray:
         """Enhance one ``(H, W, 3)`` RGB float frame; returns the same layout
         (scaled spatially by ``config.scale``)."""
+        if self._engine is not None:
+            return self._engine.enhance(rgb)
         if rgb.ndim != 3 or rgb.shape[2] != 3:
             raise ValueError(f"expected (H, W, 3) RGB frame, got {rgb.shape}")
-        batch = rgb.transpose(2, 0, 1)[None].astype(np.float32)
-        out = self.forward(batch)
-        return np.clip(out[0].transpose(1, 2, 0), 0.0, 1.0).astype(np.float32)
+        # asarray: only converts when the frame is not float32 already; the
+        # transposed view needs no copy (the conv pads into a fresh array).
+        batch = np.asarray(rgb, dtype=np.float32).transpose(2, 0, 1)[None]
+        out = self.forward(batch, training=False)
+        out = np.clip(out[0].transpose(1, 2, 0), 0.0, 1.0)
+        return out.astype(np.float32, copy=False)
 
     def enhance_batch(self, frames: np.ndarray) -> np.ndarray:
         """Enhance ``(N, H, W, 3)`` frames at once."""
+        if self._engine is not None:
+            return self._engine.enhance_batch(frames)
         if frames.ndim != 4 or frames.shape[3] != 3:
             raise ValueError(f"expected (N, H, W, 3) frames, got {frames.shape}")
-        batch = np.ascontiguousarray(frames.transpose(0, 3, 1, 2)).astype(np.float32)
-        out = self.forward(batch)
-        return np.clip(out.transpose(0, 2, 3, 1), 0.0, 1.0).astype(np.float32)
+        batch = np.ascontiguousarray(frames.transpose(0, 3, 1, 2),
+                                     dtype=np.float32)
+        out = self.forward(batch, training=False)
+        out = np.clip(out.transpose(0, 2, 3, 1), 0.0, 1.0)
+        return out.astype(np.float32, copy=False)

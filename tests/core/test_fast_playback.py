@@ -1,0 +1,152 @@
+"""Fast-path playback: prefetch pipeline equivalence and telemetry.
+
+The contract: enabling :class:`FastPathConfig` (tiled engine, worker
+threads, prefetch) is purely a *performance* change — frames, quality
+metrics, byte accounting, and degradation semantics must match the serial
+PR-2 engine.  Prefetch vs no-prefetch on the fast path is asserted
+bitwise; fast path vs reference forward is asserted at the uint8 level
+with a 1-LSB tolerance (float32 reassociation can flip a quantization
+boundary).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DcsrClient,
+    DownloadError,
+    FastPathConfig,
+    NetworkConfig,
+    RetryPolicy,
+    SimulatedNetwork,
+)
+
+
+def _play(package, frames, fast=None, network=None, fallback=False,
+          retries=0):
+    client = DcsrClient(package, network=network,
+                        retry=RetryPolicy(retries=retries, backoff_s=0.0),
+                        fallback=fallback, fast_path=fast)
+    return client.play(frames)
+
+
+def _lossy_net(seed=11, fail_rate=0.4):
+    return SimulatedNetwork(NetworkConfig(fail_rate=fail_rate, seed=seed))
+
+
+class TestFastPathConfig:
+    def test_validation(self, package):
+        with pytest.raises(ValueError):
+            DcsrClient(package, fast_path=FastPathConfig(prefetch=-1))
+
+    def test_defaults_do_not_build_engines(self, package, small_clip):
+        client = DcsrClient(package)
+        client.play(small_clip.frames)
+        assert client._engines == {}
+
+
+class TestPrefetchEquivalence:
+    def test_prefetch_bitwise_equals_serial_fast(self, package, small_clip):
+        fast0 = _play(package, small_clip.frames,
+                      FastPathConfig(tile=24, sr_threads=2, prefetch=0))
+        fastp = _play(package, small_clip.frames,
+                      FastPathConfig(tile=24, sr_threads=2, prefetch=2))
+        assert len(fast0.frames) == len(fastp.frames) == small_clip.n_frames
+        assert fast0.frame_types == fastp.frame_types
+        for a, b in zip(fast0.frames, fastp.frames):
+            assert np.array_equal(a, b)
+        assert fast0.psnr_per_frame == fastp.psnr_per_frame
+        assert fast0.video_bytes == fastp.video_bytes
+        assert fast0.model_bytes == fastp.model_bytes
+
+    def test_prefetch_lossy_preserves_concealment(self, package, small_clip):
+        serial = _play(package, small_clip.frames,
+                       FastPathConfig(tile=24, prefetch=0),
+                       network=_lossy_net(), fallback=True)
+        pre = _play(package, small_clip.frames,
+                    FastPathConfig(tile=24, prefetch=3),
+                    network=_lossy_net(), fallback=True)
+        assert serial.skipped_segments == pre.skipped_segments
+        assert serial.fallback_segments == pre.fallback_segments
+        assert serial.frame_types == pre.frame_types
+        for a, b in zip(serial.frames, pre.frames):
+            assert np.array_equal(a, b)
+        assert serial.total_bytes == pre.total_bytes
+
+    def test_fast_path_matches_reference_engine(self, package, small_clip):
+        ref = _play(package, small_clip.frames)
+        fast = _play(package, small_clip.frames,
+                     FastPathConfig(tile=20, sr_threads=2, prefetch=2))
+        assert ref.frame_types == fast.frame_types
+        assert ref.video_bytes == fast.video_bytes
+        assert ref.model_bytes == fast.model_bytes
+        for a, b in zip(ref.frames, fast.frames):
+            # uint8 YUV after float32-reassociated SR: at most 1 LSB apart
+            assert np.abs(a.astype(np.int16) - b.astype(np.int16)).max() <= 1
+        assert abs(ref.mean_psnr - fast.mean_psnr) < 0.05
+
+    def test_strict_mode_raises_through_prefetch(self, package, small_clip):
+        network = SimulatedNetwork(NetworkConfig(fail_rate=1.0, seed=0))
+        client = DcsrClient(package, network=network,
+                            retry=RetryPolicy(retries=0, backoff_s=0.0),
+                            fallback=False,
+                            fast_path=FastPathConfig(prefetch=2))
+        with pytest.raises(DownloadError):
+            client.play(small_clip.frames)
+        # the generator still finalized its accounting
+        assert client.last_result.telemetry is not None
+
+    def test_bounded_memory_with_prefetch(self, package, small_clip):
+        depth = 2
+        client = DcsrClient(package,
+                            fast_path=FastPathConfig(tile=24,
+                                                     prefetch=depth))
+        for _ in client.iter_frames():
+            pass
+        peak = client.last_result.telemetry.peak_resident_frames
+        longest = max(seg.n_frames for seg in package.segments)
+        # prefetch holds at most `depth` extra decoded segments
+        assert 0 < peak <= (depth + 1) * longest + 1
+        assert peak < small_clip.n_frames or \
+            small_clip.n_frames <= (depth + 1) * longest + 1
+
+    def test_abandoned_prefetch_generator_finalizes(self, package):
+        client = DcsrClient(package,
+                            fast_path=FastPathConfig(prefetch=2))
+        gen = client.iter_frames()
+        next(gen)
+        gen.close()
+        assert client.last_result.telemetry is not None
+        assert client.last_result.model_bytes > 0
+
+
+class TestFastPathTelemetry:
+    def test_fields_populated(self, package, small_clip):
+        client = DcsrClient(package,
+                            fast_path=FastPathConfig(tile=16, sr_threads=2,
+                                                     prefetch=1))
+        result = client.play(small_clip.frames)
+        t = result.telemetry
+        assert t.tile_count > 0
+        assert t.sr_gflops > 0
+        assert t.fast_path_speedup > 0          # calibration ran
+        assert t.prefetch_overlap_seconds >= 0
+        assert any("fastpath" in line for line in t.summary_lines())
+
+    def test_serial_reference_leaves_fields_zero(self, package, small_clip):
+        result = _play(package, small_clip.frames)
+        t = result.telemetry
+        assert t.tile_count == 0
+        assert t.sr_gflops == 0
+        assert t.fast_path_speedup == 0
+        assert all("fastpath" not in line for line in t.summary_lines())
+
+    def test_calibration_can_be_disabled(self, package, small_clip):
+        result = _play(package, small_clip.frames,
+                       FastPathConfig(tile=16, calibrate=False))
+        assert result.telemetry.fast_path_speedup == 0
+
+    def test_whole_frame_counts_one_tile_per_inference(self, package,
+                                                       small_clip):
+        result = _play(package, small_clip.frames, FastPathConfig())
+        assert result.telemetry.tile_count == result.sr_inferences

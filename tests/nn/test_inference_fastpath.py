@@ -1,0 +1,199 @@
+"""Inference fast path: GEMM kernels, packed-weight cache, zero retention.
+
+The contract under test: ``conv2d_gemm`` is *bitwise* equal to the
+reference ``conv2d_forward`` (it reproduces the same matmul operands in
+the same order), the NHWC shift kernel matches within float32
+reassociation, packed weights invalidate when a Parameter updates, and
+``training=False`` retains nothing while leaving the training path
+untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.gradcheck import check_layer_gradients
+
+
+def _conv_case(rng, cin, cout, k, h, w, n=2, bias=True):
+    x = rng.standard_normal((n, cin, h, w)).astype(np.float32)
+    weight = (rng.standard_normal((cout, cin, k, k)) * 0.3).astype(np.float32)
+    b = rng.standard_normal(cout).astype(np.float32) if bias else None
+    return x, weight, b
+
+
+class TestConv2dGemm:
+    @pytest.mark.parametrize("cin,cout,k,stride,padding", [
+        (3, 8, 3, 1, 1),
+        (8, 8, 3, 1, 0),
+        (4, 6, 1, 1, 0),
+        (3, 5, 5, 1, 2),
+        (6, 4, 3, 2, 1),
+        (3, 8, 3, 2, 0),
+    ])
+    def test_bitwise_equals_reference(self, cin, cout, k, stride, padding):
+        rng = np.random.default_rng(0)
+        x, weight, bias = _conv_case(rng, cin, cout, k, 9, 11)
+        ref = F.conv2d_forward(x, weight, bias, stride=stride,
+                               padding=padding)
+        packed = F.pack_conv_weight(weight, bias)
+        out = F.conv2d_gemm(x, packed, stride=stride, padding=padding)
+        assert out.dtype == np.float32
+        assert np.array_equal(ref, out)           # bitwise, not approximate
+
+    def test_no_bias(self):
+        rng = np.random.default_rng(1)
+        x, weight, _ = _conv_case(rng, 4, 4, 3, 8, 8, bias=False)
+        ref = F.conv2d_forward(x, weight, None, padding=1)
+        out = F.conv2d_gemm(x, F.pack_conv_weight(weight, None), padding=1)
+        assert np.array_equal(ref, out)
+
+    def test_fused_relu_epilogue(self):
+        rng = np.random.default_rng(2)
+        x, weight, bias = _conv_case(rng, 4, 6, 3, 8, 8)
+        packed = F.pack_conv_weight(weight, bias)
+        ref = np.maximum(F.conv2d_forward(x, weight, bias, padding=1), 0.0)
+        out = F.conv2d_gemm(x, packed, padding=1, relu=True)
+        assert np.array_equal(ref, out)
+
+    def test_fused_residual_epilogue(self):
+        rng = np.random.default_rng(3)
+        x, weight, bias = _conv_case(rng, 6, 6, 3, 8, 8)
+        packed = F.pack_conv_weight(weight, bias)
+        res = rng.standard_normal(x.shape).astype(np.float32)
+        scale = np.float32(0.1)
+        ref = res + F.conv2d_forward(x, weight, bias, padding=1) * scale
+        out = F.conv2d_gemm(x, packed, padding=1, residual=res,
+                            res_scale=scale)
+        assert np.allclose(ref, out, atol=1e-7)
+
+    def test_im2col_shapes(self):
+        x = np.arange(2 * 3 * 5 * 6, dtype=np.float32).reshape(2, 3, 5, 6)
+        col, oh, ow = F.im2col(x, 3, 3, stride=1, padding=1)
+        assert (oh, ow) == (5, 6)
+        assert col.shape == (2 * 5 * 6, 3 * 3 * 3)
+
+
+class TestShiftNhwc:
+    @pytest.mark.parametrize("cin,cout,k", [(3, 8, 3), (8, 8, 1), (4, 6, 5)])
+    def test_matches_reference_within_reassociation(self, cin, cout, k):
+        rng = np.random.default_rng(4)
+        x, weight, bias = _conv_case(rng, cin, cout, k, 10, 12)
+        ref = F.conv2d_forward(x, weight, bias, padding=k // 2)
+        packed = F.pack_conv_weight(weight, bias)
+        out = F.conv2d_shift_nhwc(x.transpose(0, 2, 3, 1), packed)
+        assert np.abs(out.transpose(0, 3, 1, 2) - ref).max() < 1e-5
+
+    def test_fused_epilogues(self):
+        rng = np.random.default_rng(5)
+        x, weight, bias = _conv_case(rng, 6, 6, 3, 9, 9)
+        packed = F.pack_conv_weight(weight, bias)
+        res = rng.standard_normal(x.shape).astype(np.float32)
+        ref = res + np.maximum(
+            F.conv2d_forward(x, weight, bias, padding=1), 0.0) * 0.2
+        relu_only = F.conv2d_shift_nhwc(
+            x.transpose(0, 2, 3, 1), packed, relu=True,
+            residual=res.transpose(0, 2, 3, 1), res_scale=0.2)
+        assert np.abs(relu_only.transpose(0, 3, 1, 2) - ref).max() < 1e-5
+
+    def test_pixel_shuffle_nhwc_matches_nchw(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((2, 4, 5, 12)).astype(np.float32)
+        ref = F.pixel_shuffle(x.transpose(0, 3, 1, 2), 2)
+        out = F.pixel_shuffle_nhwc(x, 2)
+        assert np.array_equal(out.transpose(0, 3, 1, 2), ref)
+
+
+class TestPackedCacheInvalidation:
+    def test_parameter_version_bumps_on_assignment(self):
+        p = nn.Parameter(np.zeros((2, 2), dtype=np.float32), name="p")
+        v0 = p.version
+        p.data = np.ones((2, 2), dtype=np.float32)
+        assert p.version == v0 + 1
+        p.data -= 0.5                      # in-place op goes through setter
+        assert p.version == v0 + 2
+
+    def test_conv_repacks_after_update(self):
+        conv = nn.Conv2d(3, 4, 3, rng=np.random.default_rng(7))
+        p1 = conv.packed()
+        assert conv.packed() is p1         # cached while weights unchanged
+        conv.weight.data -= 0.1
+        p2 = conv.packed()
+        assert p2 is not p1
+        assert not np.array_equal(p1.mat, p2.mat)
+
+    def test_pack_does_not_alias_live_weight(self):
+        conv = nn.Conv2d(3, 4, 3, rng=np.random.default_rng(8))
+        p1 = conv.packed()
+        before = p1.mat.copy()
+        conv.weight.data -= 1.0
+        assert np.array_equal(p1.mat, before)   # old pack frozen
+
+    def test_optimizer_step_invalidates(self):
+        conv = nn.Conv2d(3, 4, 3, rng=np.random.default_rng(9))
+        x = np.random.default_rng(10).standard_normal(
+            (1, 3, 6, 6)).astype(np.float32)
+        p1 = conv.packed()
+        out = conv.forward(x)
+        conv.backward(np.ones_like(out))
+        nn.SGD(conv.parameters(), lr=0.1).step()
+        out_after = F.conv2d_gemm(x, conv.packed(), padding=conv.padding,
+                                  stride=conv.stride)
+        ref_after = F.conv2d_forward(x, conv.weight.data, conv.bias.data,
+                                     stride=conv.stride,
+                                     padding=conv.padding)
+        assert np.array_equal(out_after, ref_after)
+
+
+class TestZeroRetention:
+    def test_conv_inference_caches_nothing(self):
+        conv = nn.Conv2d(3, 4, 3, rng=np.random.default_rng(11))
+        x = np.random.default_rng(12).standard_normal(
+            (1, 3, 6, 6)).astype(np.float32)
+        train_out = conv.forward(x)
+        infer_out = conv.forward(x, training=False)
+        assert np.array_equal(train_out, infer_out)
+        conv._x = None
+        conv.forward(x, training=False)
+        assert conv._x is None             # inference retained no input
+
+    @pytest.mark.parametrize("layer_fn", [
+        lambda rng: nn.Dense(6, 4, rng=rng),
+        lambda rng: nn.ReLU(),
+        lambda rng: nn.LeakyReLU(0.1),
+        lambda rng: nn.Tanh(),
+        lambda rng: nn.Sigmoid(),
+    ])
+    def test_inference_matches_training_forward(self, layer_fn):
+        rng = np.random.default_rng(13)
+        layer = layer_fn(rng)
+        x = rng.standard_normal((5, 6)).astype(np.float32)
+        assert np.array_equal(layer.forward(x),
+                              layer.forward(x, training=False))
+
+    def test_infer_helper(self):
+        relu = nn.ReLU()
+        x = np.array([[-1.0, 2.0]], dtype=np.float32)
+        assert np.array_equal(relu.infer(x), np.array([[0.0, 2.0]],
+                                                      dtype=np.float32))
+
+    def test_training_path_untouched_after_inference(self):
+        """Gradcheck still passes after interleaved inference calls —
+        the fast path must not perturb cached activations."""
+        rng = np.random.default_rng(14)
+        conv = nn.Conv2d(2, 3, 3, rng=rng)
+        x = rng.standard_normal((2, 2, 5, 5)).astype(np.float32)
+        conv.forward(rng.standard_normal((1, 2, 7, 7)).astype(np.float32),
+                     training=False)
+        check_layer_gradients(conv, x, rng)
+
+    def test_sigmoid_single_exp_matches_reference(self):
+        x = np.array([[-120.0, -60.0, -3.0, 0.0, 3.0, 60.0, 120.0]],
+                     dtype=np.float32)
+        # the pre-fix formulation, computed directly
+        e = np.exp(np.clip(x, -60.0, 60.0))
+        ref = (e / (1.0 + e)).astype(np.float32)
+        out = nn.Sigmoid().forward(x, training=False)
+        assert np.array_equal(out, ref)
+        assert out.min() > 0.0               # never exactly 0 (no overflow)

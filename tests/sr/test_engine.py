@@ -1,0 +1,167 @@
+"""Tiled NHWC inference engine: equivalence, halo math, threading, timing.
+
+The central property: for random ``EdsrConfig``s, the engine's output
+matches the reference NCHW forward within 1e-5, tiled output matches
+whole-frame bitwise-comparable (<= 1e-5), and thread count never changes
+a single bit (tiles write disjoint output regions).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.sr import EDSR, EdsrConfig, InferenceEngine, receptive_field_radius
+
+
+def _frame(rng, h=24, w=32):
+    return rng.random((h, w, 3), dtype=np.float32)
+
+
+def _random_config(rng):
+    scale = int(rng.choice([1, 1, 2, 3, 4]))
+    return EdsrConfig(
+        n_resblocks=int(rng.integers(1, 5)),
+        n_filters=int(rng.choice([4, 8, 12, 16])),
+        scale=scale,
+        res_scale=float(rng.choice([1.0, 0.5, 0.1])),
+        kernel_size=int(rng.choice([3, 3, 5])),
+    )
+
+
+class TestEngineEquivalence:
+    def test_random_config_sweep(self):
+        """Property-style sweep: engine == reference forward (<= 1e-5) and
+        tiled == whole-frame (<= 1e-5) across random architectures."""
+        rng = np.random.default_rng(0)
+        for trial in range(6):
+            config = _random_config(rng)
+            model = EDSR(config, seed=trial)
+            frame = _frame(rng)
+            ref = model.enhance(frame)                     # reference path
+            whole = InferenceEngine(model).enhance(frame)
+            assert whole.shape == ref.shape
+            assert np.abs(whole - ref).max() <= 2e-5, config
+            tile_edge = int(rng.integers(7, 20))
+            tiled = InferenceEngine(model, tile=tile_edge).enhance(frame)
+            assert np.abs(tiled - whole).max() <= 1e-5, (config, tile_edge)
+
+    def test_tiled_equals_whole_uneven_grid(self):
+        model = EDSR(EdsrConfig(n_resblocks=2, n_filters=8), seed=1)
+        rng = np.random.default_rng(2)
+        frame = _frame(rng, h=25, w=37)                    # non-divisible
+        whole = InferenceEngine(model).enhance(frame)
+        for tile in (9, 16, 23):
+            tiled = InferenceEngine(model, tile=tile).enhance(frame)
+            assert np.abs(tiled - whole).max() <= 1e-5
+
+    def test_threads_are_bitwise_identical(self):
+        model = EDSR(EdsrConfig(n_resblocks=2, n_filters=8), seed=3)
+        frame = _frame(np.random.default_rng(4), h=30, w=40)
+        one = InferenceEngine(model, tile=12, threads=1).enhance(frame)
+        for threads in (2, 4):
+            many = InferenceEngine(model, tile=12,
+                                   threads=threads).enhance(frame)
+            assert np.array_equal(one, many)
+
+    def test_batch_matches_per_frame(self):
+        model = EDSR(EdsrConfig(n_resblocks=1, n_filters=8), seed=5)
+        rng = np.random.default_rng(6)
+        frames = rng.random((3, 16, 20, 3), dtype=np.float32)
+        engine = InferenceEngine(model, tile=10)
+        batch = engine.enhance_batch(frames)
+        for i in range(3):
+            assert np.abs(batch[i] - engine.enhance(frames[i])).max() <= 1e-6
+
+    def test_upscaling_output_shape(self):
+        model = EDSR(EdsrConfig(n_resblocks=1, n_filters=8, scale=2), seed=7)
+        out = InferenceEngine(model, tile=9).enhance(
+            _frame(np.random.default_rng(8), h=15, w=21))
+        assert out.shape == (30, 42, 3)
+
+    def test_output_clipped_to_unit_range(self):
+        model = EDSR(EdsrConfig(n_resblocks=1, n_filters=4), seed=9)
+        out = InferenceEngine(model).enhance(
+            _frame(np.random.default_rng(10)))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestHaloAndStats:
+    def test_receptive_field_values(self):
+        # (k//2) * (2 + 2*n_resblocks) body terms + upsampler/tail terms
+        assert receptive_field_radius(
+            EdsrConfig(n_resblocks=4, n_filters=16)) == 11
+        assert receptive_field_radius(
+            EdsrConfig(n_resblocks=2, n_filters=8)) == 7
+        assert receptive_field_radius(
+            EdsrConfig(n_resblocks=2, n_filters=8, scale=2)) == 8
+        assert receptive_field_radius(
+            EdsrConfig(n_resblocks=2, n_filters=8, kernel_size=5)) == 14
+
+    def test_stats_populated(self):
+        model = EDSR(EdsrConfig(n_resblocks=1, n_filters=4), seed=11)
+        engine = InferenceEngine(model, tile=10)
+        engine.enhance(_frame(np.random.default_rng(12), h=24, w=32))
+        assert engine.stats.tile_count == 3 * 4            # ceil(24/10)*ceil(32/10)
+        assert engine.stats.frames == 1
+        assert engine.stats.flops > 0
+
+    def test_rejects_bad_construction(self):
+        model = EDSR(EdsrConfig(n_resblocks=1, n_filters=4), seed=13)
+        with pytest.raises(ValueError):
+            InferenceEngine(model, tile=0)
+        with pytest.raises(ValueError):
+            InferenceEngine(model, threads=0)
+
+    def test_model_attachment_roundtrip(self):
+        model = EDSR(EdsrConfig(n_resblocks=1, n_filters=4), seed=14)
+        frame = _frame(np.random.default_rng(15))
+        ref = model.enhance(frame)
+        model.use_fast_path(tile=12)
+        fast = model.enhance(frame)
+        assert np.abs(fast - ref).max() <= 1e-5
+        model.clear_fast_path()
+        assert np.array_equal(model.enhance(frame), ref)
+
+    def test_weight_update_reflected_without_rebuild(self):
+        model = EDSR(EdsrConfig(n_resblocks=1, n_filters=4), seed=16)
+        frame = _frame(np.random.default_rng(17))
+        engine = InferenceEngine(model)
+        before = engine.enhance(frame)
+        for p in model.parameters():
+            p.data -= 0.05
+        after = engine.enhance(frame)
+        assert not np.array_equal(before, after)
+        assert np.abs(after - model_reference(model, frame)).max() <= 2e-5
+
+
+def model_reference(model, frame):
+    engine, model._engine = model._engine, None
+    try:
+        return model.enhance(frame)
+    finally:
+        model._engine = engine
+
+
+@pytest.mark.timing
+class TestFastPathTiming:
+    def test_fast_path_not_slower_than_reference_360p(self):
+        """Tier-1-safe guard: the engine must never lose to the reference
+        forward on a 360p frame (the ISSUE's 3x claim is asserted in
+        ``benchmarks/test_sr_inference.py``; here we only hold a 1.0x
+        floor so machine load can't flake the suite)."""
+        model = EDSR(EdsrConfig(n_resblocks=2, n_filters=8), seed=18)
+        frame = np.random.default_rng(19).random((360, 640, 3),
+                                                 dtype=np.float32)
+        engine = InferenceEngine(model)
+        model.enhance(frame)                               # warm caches
+        engine.enhance(frame)
+        ref_s = min(_timed(model.enhance, frame) for _ in range(2))
+        fast_s = min(_timed(engine.enhance, frame) for _ in range(2))
+        assert fast_s <= ref_s, (fast_s, ref_s)
+
+
+def _timed(fn, arg):
+    t0 = time.perf_counter()
+    fn(arg)
+    return time.perf_counter() - t0
