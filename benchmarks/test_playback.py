@@ -55,15 +55,16 @@ def test_playback_stage_breakdown(benchmark):
     clip, package = _package()
 
     def experiment():
-        clean = DcsrClient(package).play(clip.frames)
+        clean_client = DcsrClient(package)
+        clean = clean_client.play(clip.frames)
         net = SimulatedNetwork(NetworkConfig(
             fail_rate=0.3, latency_s=0.02, bandwidth_bps=20e6, seed=1))
         lossy = DcsrClient(package, network=net,
                            retry=RetryPolicy(retries=2, backoff_s=0.01),
                            fallback=True).play(clip.frames)
-        return clean, lossy
+        return clean, lossy, clean_client.obs
 
-    clean, lossy = run_once(benchmark, experiment)
+    clean, lossy, clean_obs = run_once(benchmark, experiment)
 
     rows = []
     for name, result in (("clean", clean), ("lossy", lossy)):
@@ -111,7 +112,7 @@ def test_playback_stage_breakdown(benchmark):
             "fallback_segments": lossy.fallback_segments,
             "mean_psnr": lossy.mean_psnr,
         },
-    })
+    }, trace=clean_obs)  # the result file carries its own span tree
 
     # The bounded-memory contract: the session never holds more than one
     # segment's frames (plus the held concealment frame).

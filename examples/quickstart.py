@@ -18,6 +18,7 @@ from repro.core import (
     build_package,
     play_low,
 )
+from repro.obs import render_trace_summary
 from repro.features import VaeTrainConfig
 from repro.sr import EdsrConfig, SrTrainConfig
 from repro.video import make_video
@@ -56,7 +57,8 @@ def main() -> None:
 
     # 3. Client side: stream with SR applied to I frames in the decoder's
     #    picture buffer; micro models are cached across segments.
-    result = DcsrClient(package).play(reference_frames=clip.frames)
+    client = DcsrClient(package)
+    result = client.play(reference_frames=clip.frames)
     low = play_low(package, clip.frames)
 
     print("\n              PSNR (dB)   SSIM    downloaded")
@@ -70,6 +72,11 @@ def main() -> None:
     gain = result.mean_psnr - low.mean_psnr
     print(f"\ndcSR enhances the video by {gain:+.2f} dB overall; its I frames "
           f"gain the most and\npropagate through the GOP's P/B references.")
+
+    # 4. The playback session's span tree, aggregated per stage — the same
+    #    substrate `cli play --trace-out` exports as JSON.
+    print()
+    print(render_trace_summary(client.obs, title="playback trace"))
 
 
 if __name__ == "__main__":

@@ -24,6 +24,10 @@ Subpackages
     memory, and power.
 ``repro.bench``
     Experiment harness and canonical workloads.
+``repro.obs``
+    Unified observability core: injectable clocks, span tracing, metrics,
+    and the JSON / Prometheus exporters behind ``--trace-out`` /
+    ``--metrics-out``.
 """
 
 __version__ = "1.0.0"

@@ -18,13 +18,18 @@ __all__ = ["format_table", "print_table", "print_series", "save_results",
 def format_table(
     title: str, headers: Sequence[str], rows: Iterable[Sequence],
 ) -> str:
-    """Render an aligned text table."""
+    """Render an aligned text table.
+
+    An empty ``title`` omits the ``== title ==`` banner, so callers that
+    carry their own heading (the telemetry summaries) can still render
+    their rows through the one shared table formatter.
+    """
     str_rows = [[_fmt(cell) for cell in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in str_rows:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
-    lines = [f"== {title} =="]
+    lines = [f"== {title} =="] if title else []
     lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
     lines.append("  ".join("-" * w for w in widths))
     for row in str_rows:
@@ -57,10 +62,19 @@ def print_series(title: str, xs: Sequence, ys_by_name: dict[str, Sequence]) -> N
 
 
 def cdf_points(values: Sequence[float], n_points: int = 11) -> list[tuple[float, float]]:
-    """(value, cumulative fraction) pairs at evenly spaced quantiles."""
+    """(value, cumulative fraction) pairs at evenly spaced quantiles.
+
+    Degenerate inputs are well-defined instead of crashing: an empty
+    ``values`` yields ``[]``, and ``n_points=1`` yields the single
+    ``(max, 1.0)`` point (no zero-division on the quantile spacing).
+    """
+    if n_points < 1:
+        raise ValueError(f"n_points must be >= 1, got {n_points}")
     ordered = sorted(values)
     if not ordered:
         return []
+    if n_points == 1:
+        return [(ordered[-1], 1.0)]
     out = []
     for i in range(n_points):
         frac = i / (n_points - 1)
@@ -69,8 +83,21 @@ def cdf_points(values: Sequence[float], n_points: int = 11) -> list[tuple[float,
     return out
 
 
-def save_results(name: str, payload: dict, directory: str | Path = "bench_results") -> Path:
-    """Persist one experiment's numbers as JSON for EXPERIMENTS.md."""
+def save_results(name: str, payload: dict, directory: str | Path = "bench_results",
+                 trace=None) -> Path:
+    """Persist one experiment's numbers as JSON for EXPERIMENTS.md.
+
+    ``trace`` (a :class:`~repro.obs.Span`, :class:`~repro.obs.Tracer`, or
+    :class:`~repro.obs.Observability` session) embeds the run's span tree
+    under a ``"trace"`` key, so the result file carries its own timing
+    provenance — per-stage wall time, clock domains, attempt counts —
+    next to the numbers it explains.
+    """
+    if trace is not None:
+        from ..obs.export import _root_of, span_to_dict
+        root = _root_of(trace)
+        payload = dict(payload)
+        payload["trace"] = root if isinstance(root, dict) else span_to_dict(root)
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{name}.json"

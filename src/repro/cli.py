@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
@@ -55,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
     prep.add_argument("--train-cache", default=None, metavar="DIR",
                       help="content-addressed training cache directory; "
                            "rebuilds with unchanged clusters skip training")
+    prep.add_argument("--trace-out", default=None, metavar="FILE",
+                      help="write the build's span tree as JSON")
+    prep.add_argument("--metrics-out", default=None, metavar="FILE",
+                      help="write the build's metrics in Prometheus "
+                           "text format")
 
     info = sub.add_parser("info", help="inspect a stored package")
     info.add_argument("package", help="package directory")
@@ -87,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
     play.add_argument("--prefetch", type=int, default=None, metavar="N",
                       help="segments to download+decode ahead of SR "
                            "(fast path; default 0 = serial)")
+    play.add_argument("--trace-out", default=None, metavar="FILE",
+                      help="write the session's span tree as JSON")
+    play.add_argument("--metrics-out", default=None, metavar="FILE",
+                      help="write the session's metrics in Prometheus "
+                           "text format")
 
     plan = sub.add_parser("plan", help="device feasibility table")
     plan.add_argument("--device", default="jetson",
@@ -121,8 +130,19 @@ def _load_clip(path: str):
                          scene_ids=data["scene_ids"])
 
 
+def _write_obs(args, obs) -> None:
+    """Honor ``--trace-out`` / ``--metrics-out`` for one command's session."""
+    from .obs import write_metrics, write_trace
+
+    if args.trace_out:
+        print(f"trace -> {write_trace(args.trace_out, obs)}")
+    if args.metrics_out:
+        print(f"metrics -> {write_metrics(args.metrics_out, obs.metrics)}")
+
+
 def _cmd_prepare(args) -> int:
     from .core import ParallelConfig, ServerConfig, build_package, save_package
+    from .obs import Observability
     from .sr import SrTrainConfig
     from .video.codec import CodecConfig
 
@@ -142,14 +162,17 @@ def _cmd_prepare(args) -> int:
         parallel=ParallelConfig(workers=workers, backend=backend),
         train_cache_dir=args.train_cache,
     )
-    t0 = time.time()
-    package = build_package(clip, config)
+    obs = Observability(root_name="prepare")
+    t0 = obs.clock.now()
+    package = build_package(clip, config, obs=obs)
     save_package(package, args.out)
     print(f"prepared {package.manifest.n_segments} segments, "
-          f"K = {package.selection.k} micro models in {time.time() - t0:.1f}s"
+          f"K = {package.selection.k} micro models in "
+          f"{obs.clock.now() - t0:.1f}s"
           f" -> {args.out}")
     for line in package.telemetry.summary_lines():
         print(line)
+    _write_obs(args, obs)
     return 0
 
 
@@ -196,9 +219,12 @@ def _cmd_play(args) -> int:
         fast = FastPathConfig(tile=args.tile,
                               sr_threads=args.sr_threads or 1,
                               prefetch=args.prefetch or 0)
+    from .obs import Observability
+
     client = DcsrClient(package, network=network,
                         retry=RetryPolicy(retries=args.retries),
-                        fallback=args.fallback, fast_path=fast)
+                        fallback=args.fallback, fast_path=fast,
+                        obs=Observability(root_name="play"))
     result = client.play(reference)
     print(f"played {len(result.frames)} frames, "
           f"{result.sr_inferences} SR inferences")
@@ -214,10 +240,12 @@ def _cmd_play(args) -> int:
               f"{result.mean_ssim:.3f} SSIM")
     for line in result.telemetry.summary_lines():
         print(line)
+    _write_obs(args, client.obs)
     return 0
 
 
 def _cmd_plan(args) -> int:
+    from .bench.runner import format_table
     from .devices import OutOfMemory, get_device, inference_seconds, playback_fps
     from .sr import EDSR, RESOLUTIONS, big_model_config, dcsr_config
 
@@ -225,21 +253,23 @@ def _cmd_plan(args) -> int:
     res = RESOLUTIONS[args.resolution.lower()]
     print(f"{device.name} @ {res.name} "
           f"(segment = {args.segment_frames} frames)")
-    print(f"{'model':<10} {'FPS@1':>8} {'FPS@5':>8} {'ms/inf':>8} {'mem MB':>8}")
     candidates = [("NAS/NEMO", EDSR(big_model_config(res.name)))]
     for level in (1, 2, 3):
         candidates.append((f"dcSR-{level}", EDSR(dcsr_config(level, res.sr_scale))))
+    rows = []
     for label, model in candidates:
         try:
             cost = inference_seconds(model, res.name, device)
             fps1 = playback_fps(model, res.name, device, args.segment_frames, 1)
             fps5 = playback_fps(model, res.name, device, args.segment_frames,
                                 min(5, args.segment_frames))
-            print(f"{label:<10} {fps1:>8.1f} {fps5:>8.1f} "
-                  f"{cost.seconds * 1000:>8.1f} "
-                  f"{cost.memory_bytes / 1e6:>8.0f}")
+            rows.append([label, f"{fps1:.1f}", f"{fps5:.1f}",
+                         f"{cost.seconds * 1000:.1f}",
+                         f"{cost.memory_bytes / 1e6:.0f}"])
         except OutOfMemory:
-            print(f"{label:<10} {'OOM':>8} {'OOM':>8} {'-':>8} {'-':>8}")
+            rows.append([label, "OOM", "OOM", "-", "-"])
+    print(format_table("", ["model", "FPS@1", "FPS@5", "ms/inf", "mem MB"],
+                       rows))
     return 0
 
 

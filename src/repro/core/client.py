@@ -38,12 +38,12 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
 
+from ..obs import Observability, SimulatedClock
 from ..sr.edsr import EDSR
 from ..sr.engine import InferenceEngine
 from ..video import rgb_to_yuv420, yuv420_to_rgb
@@ -143,6 +143,12 @@ class PlaybackTelemetry:
     """Where one playback session's time went (client mirror of
     :class:`~repro.core.parallel.BuildTelemetry`).
 
+    A thin typed view over the session's :class:`~repro.obs.Observability`:
+    every number here is derived from spans and metrics recorded through
+    ``obs``, so the span tree exported from the same session agrees with
+    these fields (``download`` spans carry ``clock="simulated"``; the
+    others are wall time).
+
     ``download`` seconds are *simulated* network time (including retries
     and backoff); ``decode``/``sr``/``color`` are measured wall time.
     ``stall_seconds`` comes from a simple playout clock: each segment must
@@ -169,6 +175,8 @@ class PlaybackTelemetry:
     #: Measured fast-over-reference SR speedup from the per-session
     #: calibration frame (0 = not calibrated).
     fast_path_speedup: float = 0.0
+    obs: Observability = field(default_factory=Observability,
+                               repr=False, compare=False)
 
     @property
     def total_seconds(self) -> float:
@@ -183,12 +191,21 @@ class PlaybackTelemetry:
         return sum(1 for s in self.segments if s.status == "fallback")
 
     def summary_lines(self) -> list[str]:
-        """A printable per-stage breakdown (CLI ``play``)."""
+        """A printable per-stage breakdown (CLI ``play``).
+
+        The stage table renders through
+        :func:`repro.bench.runner.format_table` — the same renderer the
+        build summary and the benchmark tables use.
+        """
+        from ..bench.runner import format_table
+
+        rows = [[name, self.stage_seconds[name]]
+                for name in PLAYBACK_STAGES if name in self.stage_seconds]
+        rows.append(["total", self.total_seconds])
         lines = [f"playback stages ({len(self.segments)} segments):"]
-        for name in PLAYBACK_STAGES:
-            if name in self.stage_seconds:
-                lines.append(f"  {name:<9} {self.stage_seconds[name]:7.3f}s")
-        lines.append(f"  {'total':<9} {self.total_seconds:7.3f}s")
+        lines += ["  " + line
+                  for line in format_table("", ["stage", "seconds"],
+                                           rows).splitlines()]
         lines.append(f"  fps        {self.achieved_fps:.1f} achieved "
                      f"vs {self.native_fps:g} native")
         lines.append(f"  stalls     {self.stall_seconds:.3f}s "
@@ -289,13 +306,20 @@ class DcsrClient:
         download + decode + SR of upcoming segments behind a bounded
         queue.  Frame order, concealment/fallback semantics, and the
         accounting contract are identical either way.
+    obs:
+        Optional :class:`~repro.obs.Observability` session the client
+        records its spans and metrics into.  Defaults to the network's
+        session when it has one, else a fresh session; either way the
+        network is bound to the same session so download counters land in
+        the same registry.
     """
 
     def __init__(self, package: DcsrPackage, cache_capacity: int | None = None,
                  network: SimulatedNetwork | None = None,
                  retry: RetryPolicy | None = None,
                  fallback: bool = False,
-                 fast_path: FastPathConfig | None = None):
+                 fast_path: FastPathConfig | None = None,
+                 obs: Observability | None = None):
         if fast_path is not None and fast_path.prefetch < 0:
             raise ValueError("prefetch must be >= 0")
         self.package = package
@@ -305,6 +329,16 @@ class DcsrClient:
         self._retry = retry
         self._fallback = bool(fallback)
         self._fast = fast_path
+        if obs is None and network is not None and network.obs is not None:
+            obs = network.obs
+        self.obs = obs or Observability(root_name="client")
+        if network is not None and network.obs is None:
+            network.obs = self.obs
+        # Simulated seconds (downloads, backoff) are recorded against this
+        # clock so their spans are tagged with a non-wall time domain.
+        self._sim_clock = network.clock if network is not None \
+            else SimulatedClock()
+        self._session = None
         self._engines: dict[int, InferenceEngine] = {}
         self._speedup_sample = 0.0
         self._model_bytes = 0
@@ -321,7 +355,8 @@ class DcsrClient:
         engine = self._engines.get(id(model))
         if engine is None:
             engine = InferenceEngine(model, tile=self._fast.tile,
-                                     threads=self._fast.sr_threads)
+                                     threads=self._fast.sr_threads,
+                                     obs=self.obs)
             self._engines[id(model)] = engine
         return engine
 
@@ -375,8 +410,13 @@ class DcsrClient:
         self._speedup_sample = 0.0
         self._engines = {}
         fps = package.encoded.fps
-        telemetry = PlaybackTelemetry(native_fps=fps)
+        telemetry = PlaybackTelemetry(native_fps=fps, obs=self.obs)
         result.telemetry = telemetry
+        # The session span outlives this lexical block (it is held open
+        # across generator yields), so it uses begin/end and stage spans
+        # name it as an explicit parent.
+        self._session = self.obs.tracer.begin(
+            "play", segments=len(package.segments))
 
         decoder = Decoder(
             hook_display_only=not package.manifest.enhance_in_loop)
@@ -392,6 +432,7 @@ class DcsrClient:
         finally:
             inner.close()
             self._finalize(result, telemetry)
+            self.obs.tracer.end(self._session)
 
     def _iter_serial(self, decoder, reference_frames, result: PlaybackResult,
                      telemetry: PlaybackTelemetry) -> Iterator[PlayedFrame]:
@@ -565,15 +606,19 @@ class DcsrClient:
             decoder.i_frame_hook = (
                 None if model is None
                 else self._timed_hook(model, seg_t))
-            t0 = time.perf_counter()
-            try:
-                decoded = decoder.decode_segment(
-                    encoded_segment, package.encoded.width,
-                    package.encoded.height)
-            except (DecodeError, EOFError):
-                decoded = None
-            wall = time.perf_counter() - t0
-            seg_t.decode_s = max(0.0, wall - seg_t.sr_s - seg_t.color_s)
+            # The decode span nests the hook's sr/color spans (same
+            # thread), so its staged self-time equals decode_s below.
+            with self.obs.tracer.span("decode", parent=self._session,
+                                      stage="decode",
+                                      segment=segment.index) as span:
+                try:
+                    decoded = decoder.decode_segment(
+                        encoded_segment, package.encoded.width,
+                        package.encoded.height)
+                except (DecodeError, EOFError):
+                    decoded = None
+            seg_t.decode_s = max(0.0,
+                                 span.elapsed - seg_t.sr_s - seg_t.color_s)
 
         if decoded is None:
             if seg_t.status == "fallback":
@@ -597,24 +642,38 @@ class DcsrClient:
                 package.encoded.width)
         else:
             emit = sorted(decoded, key=lambda d: d.display)
-        for item in emit:
-            concealed = decoded is None
-            if concealed:
-                rgb = item.rgb
-            else:
-                t0 = time.perf_counter()
-                rgb = yuv420_to_rgb(item.frame)
-                seg_t.color_s += time.perf_counter() - t0
-                held[0] = item.frame
-            result.frame_types.append(item.ftype)
-            if reference_frames is not None:
-                ref = reference_frames[item.display]
-                result.psnr_per_frame.append(psnr(rgb, ref))
-                result.ssim_per_frame.append(ssim(rgb, ref))
-            yield PlayedFrame(display=item.display,
-                              segment_index=segment.index,
-                              ftype=item.ftype, rgb=rgb,
-                              concealed=concealed)
+        tracer = self.obs.tracer
+        emit_color = 0.0
+        try:
+            for item in emit:
+                concealed = decoded is None
+                if concealed:
+                    rgb = item.rgb
+                else:
+                    t0 = tracer.clock.now()
+                    rgb = yuv420_to_rgb(item.frame)
+                    dt = tracer.clock.now() - t0
+                    emit_color += dt
+                    seg_t.color_s += dt
+                    held[0] = item.frame
+                result.frame_types.append(item.ftype)
+                if reference_frames is not None:
+                    ref = reference_frames[item.display]
+                    result.psnr_per_frame.append(psnr(rgb, ref))
+                    result.ssim_per_frame.append(ssim(rgb, ref))
+                yield PlayedFrame(display=item.display,
+                                  segment_index=segment.index,
+                                  ftype=item.ftype, rgb=rgb,
+                                  concealed=concealed)
+        finally:
+            # One span per segment (the per-frame conversions are too
+            # fine-grained to be useful nodes); emitted even when the
+            # caller abandons the generator mid-segment, so the trace
+            # still matches the partial seg_t.color_s.
+            if emit_color > 0.0:
+                tracer.record("color", emit_color, parent=self._session,
+                              stage="color", segment=seg_t.index,
+                              where="display")
 
     def _acquire_model(self, segment_index: int, seg_t: SegmentPlayback,
                        result: PlaybackResult) -> EDSR | None:
@@ -630,16 +689,37 @@ class DcsrClient:
             if isinstance(exc, DownloadError):
                 self._fetch_seconds += exc.seconds
                 self._fetch_attempts += exc.attempts
-            seg_t.download_s += self._fetch_seconds
-            seg_t.download_attempts += self._fetch_attempts
+            self._record_download(seg_t, "model", segment_index, failed=True)
             if not self._fallback:
                 raise
             seg_t.status = "fallback"
             result.fallback_segments.append(segment_index)
             return None
+        self._record_download(seg_t, "model", segment_index)
+        return model
+
+    def _record_download(self, seg_t: SegmentPlayback, kind: str,
+                         segment_index: int, failed: bool = False) -> None:
+        """Fold the pending fetch accounting into ``seg_t`` and the trace.
+
+        Download seconds are simulated (the network's clock domain), so
+        the span is recorded against ``self._sim_clock`` and carries a
+        ``clock="simulated"`` attribute rather than mixing into wall time.
+        Cache hits (zero attempts) leave no span.
+        """
         seg_t.download_s += self._fetch_seconds
         seg_t.download_attempts += self._fetch_attempts
-        return model
+        if self._fetch_attempts:
+            attrs = {"kind": kind, "segment": segment_index,
+                     "attempts": self._fetch_attempts}
+            if failed:
+                attrs["failed"] = True
+            self.obs.tracer.record("download", self._fetch_seconds,
+                                   parent=self._session,
+                                   clock=self._sim_clock,
+                                   stage="download", **attrs)
+        self._fetch_seconds = 0.0
+        self._fetch_attempts = 0
 
     def _fetch_segment(self, encoded_segment, seg_t: SegmentPlayback,
                        result: PlaybackResult) -> bool:
@@ -653,11 +733,13 @@ class DcsrClient:
                 self._network, self._retry, "segment",
                 encoded_segment.index, encoded_segment.n_bytes)
         except DownloadError as exc:
-            seg_t.download_s += exc.seconds
-            seg_t.download_attempts += exc.attempts
+            self._fetch_seconds, self._fetch_attempts = \
+                exc.seconds, exc.attempts
+            self._record_download(seg_t, "segment", encoded_segment.index,
+                                  failed=True)
             return False
-        seg_t.download_s += seconds
-        seg_t.download_attempts += attempts
+        self._fetch_seconds, self._fetch_attempts = seconds, attempts
+        self._record_download(seg_t, "segment", encoded_segment.index)
         result.video_bytes += encoded_segment.n_bytes
         return True
 
@@ -671,31 +753,44 @@ class DcsrClient:
         overhead and are excluded from stage accounting.
         """
         engine = self._engine_for(model) if self._fast is not None else None
+        tracer = self.obs.tracer
+        clock = tracer.clock
 
         def hook(frame: YuvFrame, display: int) -> YuvFrame:
-            t0 = time.perf_counter()
+            # Runs inside the decode span (same thread), so the sr span
+            # and the recorded color span nest under it automatically and
+            # decode's staged self-time excludes them.
+            t0 = clock.now()
             rgb = yuv420_to_rgb(frame)
-            color_s = time.perf_counter() - t0
+            color_s = clock.now() - t0
             if engine is None:
-                s0 = time.perf_counter()
-                enhanced = model.enhance(rgb)
-                sr_s = time.perf_counter() - s0
+                with tracer.span("sr", stage="sr", display=display) as sp:
+                    enhanced = model.enhance(rgb)
+                sr_s = sp.elapsed
             else:
                 ref_s = None
                 if self._fast.calibrate and not self._speedup_sample:
-                    r0 = time.perf_counter()
+                    # Calibration is measurement overhead: no span, so it
+                    # stays inside decode self-time, exactly as decode_s
+                    # accounts it.
+                    r0 = clock.now()
                     model.enhance(rgb)          # output discarded
-                    ref_s = time.perf_counter() - r0
-                s0 = time.perf_counter()
-                enhanced = engine.enhance(rgb)
-                sr_s = time.perf_counter() - s0
+                    ref_s = clock.now() - r0
+                with tracer.span("sr", stage="sr", display=display) as sp:
+                    enhanced = engine.enhance(rgb)
+                sr_s = sp.elapsed
                 if ref_s is not None:
                     self._speedup_sample = ref_s / max(sr_s, 1e-9)
+                sp.attrs["tiles"] = engine.stats.tile_count
+                sp.attrs["flops"] = engine.stats.flops
                 seg_t.sr_tiles += engine.stats.tile_count
                 seg_t.sr_flops += engine.stats.flops
-            t2 = time.perf_counter()
+            t2 = clock.now()
             out = rgb_to_yuv420(enhanced)
-            seg_t.color_s += color_s + (time.perf_counter() - t2)
+            color_total = color_s + (clock.now() - t2)
+            tracer.record("color", color_total, stage="color",
+                          display=display, where="hook")
+            seg_t.color_s += color_total
             seg_t.sr_s += sr_s
             seg_t.sr_inferences += 1
             return out
@@ -746,3 +841,21 @@ class DcsrClient:
         if sr_flops and sr_seconds > 0.0:
             telemetry.sr_gflops = sr_flops / sr_seconds / 1e9
         telemetry.fast_path_speedup = self._speedup_sample
+
+        metrics = self.obs.metrics
+        for name, total in telemetry.stage_seconds.items():
+            metrics.counter(
+                "dcsr_playback_stage_seconds_total",
+                "Seconds spent per playback stage (download is simulated)",
+            ).inc(total, stage=name)
+        metrics.counter("dcsr_playback_frames_total",
+                        "Display frames emitted").inc(len(result.frame_types))
+        if telemetry.stall_seconds:
+            metrics.counter(
+                "dcsr_playback_stall_seconds_total",
+                "Simulated playout stall seconds",
+            ).inc(telemetry.stall_seconds)
+        metrics.gauge(
+            "dcsr_playback_achieved_fps",
+            "Frames per compute second of the most recent session",
+        ).set(telemetry.achieved_fps)

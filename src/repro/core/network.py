@@ -26,6 +26,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..obs import Observability, SimulatedClock
+
 __all__ = [
     "NetworkConfig",
     "DownloadError",
@@ -83,15 +85,33 @@ class DownloadStats:
 
 
 class SimulatedNetwork:
-    """Failure- and latency-injecting stand-in for the CDN link."""
+    """Failure- and latency-injecting stand-in for the CDN link.
+
+    Every simulated second the link charges advances :attr:`clock`, a
+    dedicated :class:`~repro.obs.SimulatedClock` — the network's time
+    domain is explicit, so callers recording those seconds into a trace
+    tag them as simulated rather than mixing them into wall time.
+
+    ``obs`` (usually bound by the :class:`~repro.core.client.DcsrClient`
+    that owns the session) routes attempt/failure/byte accounting into
+    the shared metrics registry; :attr:`stats` keeps the in-object
+    counters regardless.
+    """
 
     def __init__(self, config: NetworkConfig | None = None,
-                 failure_schedule: Sequence[bool] | None = None):
+                 failure_schedule: Sequence[bool] | None = None,
+                 obs: Observability | None = None):
         self.config = config or NetworkConfig()
         self._schedule = list(failure_schedule or [])
         self._schedule_pos = 0
         self._rng = random.Random(self.config.seed)
         self.stats = DownloadStats()
+        self.clock = SimulatedClock()
+        self.obs = obs
+
+    def _count(self, name: str, value: float, help: str, **labels) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter(name, help).inc(value, **labels)
 
     def _next_attempt_fails(self) -> bool:
         if self._schedule_pos < len(self._schedule):
@@ -109,15 +129,24 @@ class SimulatedNetwork:
         labels the error), ``key`` the segment index or model label.
         """
         self.stats.attempts += 1
+        self._count("dcsr_download_attempts_total", 1,
+                    "Download attempts by payload kind", kind=kind)
         if self._next_attempt_fails():
             self.stats.failures += 1
+            self.clock.advance(self.config.latency_s)
+            self._count("dcsr_download_failures_total", 1,
+                        "Injected download failures by payload kind",
+                        kind=kind)
             raise DownloadError(
                 f"injected failure downloading {kind} {key}",
                 seconds=self.config.latency_s)
         seconds = self.config.latency_s
         if self.config.bandwidth_bps is not None:
             seconds += 8.0 * n_bytes / self.config.bandwidth_bps
+        self.clock.advance(seconds)
         self.stats.bytes_delivered += int(n_bytes)
+        self._count("dcsr_download_bytes_total", int(n_bytes),
+                    "Bytes delivered by payload kind", kind=kind)
         return seconds
 
 
@@ -174,4 +203,11 @@ def download_with_retry(
                 raise DownloadError(
                     f"{kind} {key}: giving up after {attempts} attempts",
                     seconds=elapsed, attempts=attempts) from exc
-            elapsed += retry.delay(attempts - 1)
+            backoff = retry.delay(attempts - 1)
+            network.clock.advance(backoff)
+            network._count("dcsr_download_retries_total", 1,
+                           "Retries issued after failed attempts", kind=kind)
+            network._count("dcsr_backoff_seconds_total", backoff,
+                           "Simulated seconds spent in retry backoff",
+                           kind=kind)
+            elapsed += backoff

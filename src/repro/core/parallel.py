@@ -17,10 +17,11 @@ round-trips float32 parameters losslessly.
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from ..obs import Observability
 
 __all__ = [
     "BACKENDS",
@@ -101,6 +102,11 @@ class ClusterTrainingError(RuntimeError):
 class BuildTelemetry:
     """Per-stage accounting of one :func:`~repro.core.server.build_package`.
 
+    A thin typed view over the build's :class:`~repro.obs.Observability`
+    session: every number here is derived from spans and metrics recorded
+    through ``obs`` (one clock, one tracer, one registry), so the JSON
+    span tree exported from the same build agrees with these fields.
+
     ``stage_seconds`` has one entry per :data:`BUILD_STAGES` name that ran;
     ``train_flops`` is the analytic forward+backward cost of the clusters
     actually trained (cache hits cost zero).
@@ -113,18 +119,29 @@ class BuildTelemetry:
     train_flops: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    obs: Observability = field(default_factory=Observability,
+                               repr=False, compare=False)
 
     @property
     def total_seconds(self) -> float:
         return sum(self.stage_seconds.values())
 
     def summary_lines(self) -> list[str]:
-        """A printable per-stage breakdown (CLI ``prepare`` and quickstart)."""
+        """A printable per-stage breakdown (CLI ``prepare`` and quickstart).
+
+        The stage table renders through
+        :func:`repro.bench.runner.format_table` — the same renderer the
+        playback summary and the benchmark tables use.
+        """
+        from ..bench.runner import format_table
+
+        rows = [[name, self.stage_seconds[name]]
+                for name in BUILD_STAGES if name in self.stage_seconds]
+        rows.append(["total", self.total_seconds])
         lines = [f"build stages ({self.backend} x{self.workers}):"]
-        for name in BUILD_STAGES:
-            if name in self.stage_seconds:
-                lines.append(f"  {name:<9} {self.stage_seconds[name]:7.2f}s")
-        lines.append(f"  {'total':<9} {self.total_seconds:7.2f}s")
+        lines += ["  " + line
+                  for line in format_table("", ["stage", "seconds"],
+                                           rows).splitlines()]
         if self.train_flops:
             lines.append(f"  training   {self.train_flops:.3g} FLOPs")
         if self.cache_hits or self.cache_misses:
@@ -135,17 +152,28 @@ class BuildTelemetry:
 
 @contextmanager
 def stage_timer(telemetry: BuildTelemetry | None, name: str):
-    """Accumulate wall-clock of the enclosed block into ``telemetry``."""
+    """Accumulate wall-clock of the enclosed block into ``telemetry``.
+
+    Opens a staged span on the telemetry's tracer (so the block nests any
+    spans it creates) and mirrors the elapsed seconds into
+    ``stage_seconds`` and the ``dcsr_build_stage_seconds_total`` counter.
+    """
     if telemetry is None:
         yield
         return
-    t0 = time.perf_counter()
+    obs = telemetry.obs
+    span = None
     try:
-        yield
+        with obs.tracer.span(name, stage=name) as span:
+            yield
     finally:
-        telemetry.stage_seconds[name] = (
-            telemetry.stage_seconds.get(name, 0.0)
-            + time.perf_counter() - t0)
+        if span is not None:
+            telemetry.stage_seconds[name] = (
+                telemetry.stage_seconds.get(name, 0.0) + span.elapsed)
+            obs.metrics.counter(
+                "dcsr_build_stage_seconds_total",
+                "Wall seconds spent per server build stage",
+            ).inc(span.elapsed, stage=name)
 
 
 def make_executor(config: ParallelConfig) -> Executor | None:

@@ -24,11 +24,12 @@ path.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..obs import MonotonicClock, Observability
 
 from ..clustering import KSelection, max_k_for_budget, select_k
 from ..features import (
@@ -154,9 +155,13 @@ def _train_cluster_task(args):
     label, model_config, seed, lq, hr, train_config = args
     from .. import nn
     model = EDSR(model_config, seed=seed)
-    t0 = time.perf_counter()
+    # An Observability session holds locks and cannot cross the process
+    # boundary; workers time against a local clock and the parent records
+    # the measured seconds into its own trace.
+    clock = MonotonicClock()
+    t0 = clock.now()
     train_sr(model, lq, hr, train_config)
-    return label, nn.serialize_to_bytes(model), time.perf_counter() - t0
+    return label, nn.serialize_to_bytes(model), clock.now() - t0
 
 
 def _run_pool(executor: Executor, fn, tasks, labels, wrap=None):
@@ -267,6 +272,7 @@ def _train_models(
     """Stage 5: one micro model per cluster, cache-aware and pool-aware."""
     cache = (TrainingCache(config.train_cache_dir)
              if config.train_cache_dir is not None else None)
+    obs = telemetry.obs
     models: dict[int, EDSR] = {}
     pending = []  # (label, seed, lq_member, hr_member, cache_key)
     for label in sorted(set(int(l) for l in labels)):
@@ -281,18 +287,26 @@ def _train_models(
             if cached is not None:
                 models[label] = cached
                 telemetry.cache_hits += 1
+                obs.metrics.counter(
+                    "dcsr_train_cache_hits_total",
+                    "Clusters served from the training cache").inc()
                 continue
             telemetry.cache_misses += 1
+            obs.metrics.counter(
+                "dcsr_train_cache_misses_total",
+                "Clusters trained because the cache had no entry").inc()
         pending.append((label, seed, lq_m, hr_m, key))
 
     executor = make_executor(config.parallel)
     if executor is None:
         for label, seed, lq_m, hr_m, key in pending:
             model = EDSR(config.micro_config, seed=seed)
-            t0 = time.perf_counter()
-            train_sr(model, lq_m, hr_m, config.sr_train)
-            telemetry.train_seconds_per_cluster[label] = (
-                time.perf_counter() - t0)
+            # Unstaged child of the open "train" stage span, so the train
+            # stage keeps its full duration while each cluster stays
+            # attributable in the tree.
+            with obs.tracer.span("train_cluster", cluster=label) as sp:
+                train_sr(model, lq_m, hr_m, config.sr_train, obs=obs)
+            telemetry.train_seconds_per_cluster[label] = sp.elapsed
             models[label] = model
             if cache is not None:
                 cache.put(key, model)
@@ -312,6 +326,8 @@ def _train_models(
                          seed=config.seed + int(label))
             nn.deserialize_from_bytes(model, blob)
             telemetry.train_seconds_per_cluster[int(label)] = seconds
+            obs.tracer.record("train_cluster", seconds, cluster=int(label),
+                              worker="process")
             models[int(label)] = model
             if cache is not None:
                 cache.put(keys[int(label)], model)
@@ -322,11 +338,27 @@ def _train_models(
     return models
 
 
-def build_package(clip: VideoClip, config: ServerConfig | None = None) -> DcsrPackage:
-    """Run the full server pipeline on ``clip``."""
+def build_package(clip: VideoClip, config: ServerConfig | None = None,
+                  obs: Observability | None = None) -> DcsrPackage:
+    """Run the full server pipeline on ``clip``.
+
+    ``obs`` (an optional :class:`~repro.obs.Observability`) is the session
+    every stage records its spans and metrics into (``cli prepare
+    --trace-out/--metrics-out`` passes one); by default the build's
+    :class:`~repro.core.parallel.BuildTelemetry` owns a fresh session.
+    The whole pipeline runs inside one ``build`` span, so the exported
+    tree carries the stages as its children.
+    """
     config = config or ServerConfig()
     telemetry = BuildTelemetry(backend=config.parallel.effective_backend(),
-                               workers=config.parallel.resolve_workers())
+                               workers=config.parallel.resolve_workers(),
+                               obs=obs or Observability(root_name="server"))
+    with telemetry.obs.tracer.span("build", video=clip.name):
+        return _build_package(clip, config, telemetry)
+
+
+def _build_package(clip: VideoClip, config: ServerConfig,
+                   telemetry: BuildTelemetry) -> DcsrPackage:
     segments, encoded, decoded = prepare_video(clip, config, telemetry)
 
     # I-frame training pairs: the decoded LQ I frame (network input) and the
@@ -342,7 +374,7 @@ def build_package(clip: VideoClip, config: ServerConfig | None = None) -> DcsrPa
         vae = ConvVAE(latent_dim=config.vae_latent_dim,
                       input_size=config.vae_input_size, seed=config.seed)
         thumbs = frames_to_batch(hr_i, config.vae_input_size)
-        train_vae(vae, thumbs, config.vae_train)
+        train_vae(vae, thumbs, config.vae_train, obs=telemetry.obs)
         # Chunk boundaries are fixed by ``chunk_size`` — never by worker
         # count — because BLAS kernels differ by matrix shape, so only
         # identical per-call batches embed bit-identically.

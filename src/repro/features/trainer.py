@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -54,11 +55,16 @@ def frames_to_batch(frames: np.ndarray, size: int) -> np.ndarray:
 
 def train_vae(
     vae: ConvVAE, images: np.ndarray, config: VaeTrainConfig | None = None,
+    obs=None,
 ) -> VaeHistory:
     """Train ``vae`` on ``(N, 3, S, S)`` images with Adam.
 
     Returns the loss history; training is deterministic given
-    ``config.seed``.
+    ``config.seed``.  ``obs`` (an optional
+    :class:`~repro.obs.Observability`) wraps the run in a ``train_vae``
+    span and feeds per-epoch wall seconds into the
+    ``dcsr_vae_epoch_seconds`` histogram; timing never affects the
+    trained parameters.
     """
     config = config or VaeTrainConfig()
     if images.ndim != 4:
@@ -70,28 +76,37 @@ def train_vae(
     rng = np.random.default_rng(config.seed)
     optimizer = nn.Adam(vae.parameters(), lr=config.learning_rate)
     history = VaeHistory()
+    epoch_hist = (obs.metrics.histogram(
+        "dcsr_vae_epoch_seconds", "Wall seconds per VAE training epoch")
+        if obs is not None else None)
 
-    for _ in range(config.epochs):
-        order = rng.permutation(n)
-        epoch_total, epoch_recon, epoch_kl, batches = 0.0, 0.0, 0.0, 0
-        for start in range(0, n, config.batch_size):
-            batch = images[order[start:start + config.batch_size]]
-            optimizer.zero_grad()
-            x_hat, mu, logvar = vae.forward(batch, rng)
-            total, grad_x_hat, grad_mu, grad_logvar = nn.vae_loss(
-                batch, x_hat, mu, logvar,
-                recon_weight=config.recon_weight, kl_weight=config.kl_weight)
-            recon = total - config.kl_weight * nn.kl_standard_normal(mu, logvar)[0]
-            vae.backward(grad_x_hat, grad_mu, grad_logvar)
-            nn.clip_grad_norm(vae.parameters(), config.grad_clip)
-            optimizer.step()
-            epoch_total += total
-            epoch_recon += recon
-            epoch_kl += total - recon
-            batches += 1
-        history.total.append(epoch_total / batches)
-        history.reconstruction.append(epoch_recon / batches)
-        history.kl.append(epoch_kl / batches)
+    with (obs.tracer.span("train_vae", epochs=config.epochs)
+          if obs is not None else nullcontext()):
+        for _ in range(config.epochs):
+            e0 = obs.clock.now() if obs is not None else 0.0
+            order = rng.permutation(n)
+            epoch_total, epoch_recon, epoch_kl, batches = 0.0, 0.0, 0.0, 0
+            for start in range(0, n, config.batch_size):
+                batch = images[order[start:start + config.batch_size]]
+                optimizer.zero_grad()
+                x_hat, mu, logvar = vae.forward(batch, rng)
+                total, grad_x_hat, grad_mu, grad_logvar = nn.vae_loss(
+                    batch, x_hat, mu, logvar,
+                    recon_weight=config.recon_weight,
+                    kl_weight=config.kl_weight)
+                recon = total - config.kl_weight * nn.kl_standard_normal(mu, logvar)[0]
+                vae.backward(grad_x_hat, grad_mu, grad_logvar)
+                nn.clip_grad_norm(vae.parameters(), config.grad_clip)
+                optimizer.step()
+                epoch_total += total
+                epoch_recon += recon
+                epoch_kl += total - recon
+                batches += 1
+            history.total.append(epoch_total / batches)
+            history.reconstruction.append(epoch_recon / batches)
+            history.kl.append(epoch_kl / batches)
+            if epoch_hist is not None:
+                epoch_hist.observe(obs.clock.now() - e0)
     return history
 
 

@@ -1,0 +1,81 @@
+"""Injectable clocks: the only place the repo reads a raw monotonic timer.
+
+Every timed path in the system (server build stages, playback stages,
+training epochs, inference tiles) measures through a :class:`Clock`, so
+
+- tests can substitute a :class:`SimulatedClock` and get exact,
+  machine-independent durations;
+- simulated network seconds (:mod:`repro.core.network`) advance their own
+  :class:`SimulatedClock` and are *tagged* as simulated wherever they are
+  recorded, so simulated and wall time are never silently mixed;
+- a static guard (``tests/test_no_raw_timers.py``) can assert that no
+  ``time.perf_counter()`` / ``time.monotonic()`` call site exists outside
+  this module, which keeps the abstraction from rotting.
+
+``time`` is imported here and nowhere else in ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Clock", "MonotonicClock", "SimulatedClock", "wall_clock"]
+
+
+class Clock:
+    """Monotonic time source: ``now()`` returns seconds as a float.
+
+    ``label`` names the time domain (``"wall"`` or ``"simulated"``); spans
+    recorded against a clock carry it so exported traces state which kind
+    of seconds they hold.
+    """
+
+    label = "wall"
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """Real wall time (``time.perf_counter`` — the one sanctioned call)."""
+
+    label = "wall"
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class SimulatedClock(Clock):
+    """A manually advanced clock for simulated seconds.
+
+    ``advance(seconds)`` moves time forward and returns the new ``now()``;
+    it never sleeps.  Thread-safe: the playback prefetch producer and the
+    main thread may both charge simulated seconds to one network clock.
+    """
+
+    label = "simulated"
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds} (< 0) seconds")
+        with self._lock:
+            self._now += float(seconds)
+            return self._now
+
+
+#: Process-wide wall clock, shared by default ``Observability`` sessions.
+_WALL = MonotonicClock()
+
+
+def wall_clock() -> MonotonicClock:
+    """The shared process-wide wall clock."""
+    return _WALL

@@ -1,0 +1,138 @@
+"""Nested span trees: the tracing half of the observability core.
+
+A :class:`Span` is one timed region with attributes and children; a
+:class:`Tracer` builds a tree of them against an injectable
+:class:`~repro.obs.clock.Clock`.  Three entry points cover every call
+shape in the codebase:
+
+- ``with tracer.span("decode", stage="decode"):`` — the common case.
+  Uses a per-*thread* span stack, so spans opened inside the block (same
+  thread) nest automatically.
+- ``tracer.begin(...)`` / ``tracer.end(span)`` — for regions that outlive
+  a lexical block (the playback session span lives across generator
+  yields).  ``begin`` does *not* touch the thread stack; children name it
+  as an explicit ``parent``.
+- ``tracer.record("download", seconds, clock=net.clock)`` — a
+  pre-measured duration (simulated network seconds).  The span carries a
+  ``clock`` attribute whenever its time domain is not wall time, so
+  simulated and wall seconds are never silently mixed in one tree.
+
+Thread safety: child lists mutate under one tracer lock, and each thread
+has its own current-span stack, so pool workers (tiled SR) and the
+prefetch producer can attach spans concurrently — workers that should
+nest under a span owned by another thread pass it as ``parent=``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .clock import Clock, wall_clock
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed region.  ``duration_s is None`` while the span is open."""
+
+    name: str
+    start_s: float = 0.0
+    duration_s: float | None = None
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        """Closed duration in this span's own time domain (0.0 while open)."""
+        return self.duration_s if self.duration_s is not None else 0.0
+
+    def walk(self):
+        """Depth-first iteration over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """Every descendant span (including self) named ``name``."""
+        return [s for s in self.walk() if s.name == name]
+
+
+class Tracer:
+    """Builds one span tree per session against an injectable clock."""
+
+    def __init__(self, clock: Clock | None = None, root_name: str = "trace"):
+        self.clock = clock or wall_clock()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.root = Span(name=root_name, start_s=self.clock.now())
+
+    # ------------------------------------------------------------ internals
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _attach(self, span: Span, parent: Span | None) -> None:
+        if parent is None:
+            stack = self._stack()
+            parent = stack[-1] if stack else self.root
+        with self._lock:
+            parent.children.append(span)
+
+    # ------------------------------------------------------------------ API
+
+    def current(self) -> Span | None:
+        """The innermost ``span()`` block open on *this* thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, parent: Span | None = None, **attrs):
+        """Open a child span for the enclosed block (current thread nests)."""
+        sp = self.begin(name, parent=parent, **attrs)
+        stack = self._stack()
+        stack.append(sp)
+        try:
+            yield sp
+        finally:
+            stack.pop()
+            self.end(sp)
+
+    def begin(self, name: str, parent: Span | None = None, **attrs) -> Span:
+        """Start a span without entering it on the thread stack.
+
+        For regions that outlive a lexical block (a playback session held
+        open across generator yields).  Close with :meth:`end`; children
+        must pass it as ``parent=`` explicitly.
+        """
+        sp = Span(name=name, start_s=self.clock.now(), attrs=dict(attrs))
+        self._attach(sp, parent)
+        return sp
+
+    def end(self, span: Span) -> Span:
+        """Close a span started with :meth:`begin`."""
+        if span.duration_s is None:
+            span.duration_s = max(0.0, self.clock.now() - span.start_s)
+        return span
+
+    def record(self, name: str, seconds: float, parent: Span | None = None,
+               clock: Clock | None = None, **attrs) -> Span:
+        """Attach an already-measured duration as a closed span.
+
+        ``clock`` names the time domain the seconds were measured in
+        (e.g. a :class:`~repro.obs.clock.SimulatedClock`); any non-wall
+        domain is stamped into the span's ``clock`` attribute.
+        """
+        clock = clock or self.clock
+        if clock.label != "wall":
+            attrs = {"clock": clock.label, **attrs}
+        now = clock.now()
+        sp = Span(name=name, start_s=max(0.0, now - seconds),
+                  duration_s=float(seconds), attrs=dict(attrs))
+        self._attach(sp, parent)
+        return sp

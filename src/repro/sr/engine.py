@@ -96,10 +96,16 @@ class InferenceEngine:
         Worker threads tiles fan out across (1 = run in the caller).
         Results are written to disjoint output regions, so any thread
         count produces identical frames.
+    obs:
+        Optional :class:`~repro.obs.Observability`; every call then
+        accumulates its tile / frame / FLOP counts into the
+        ``dcsr_sr_tiles_total`` / ``dcsr_sr_frames_total`` /
+        ``dcsr_sr_flops_total`` counters (per-call numbers stay in
+        :attr:`stats`).
     """
 
     def __init__(self, model: EDSR, tile: int | None = None,
-                 threads: int = 1):
+                 threads: int = 1, obs=None):
         if tile is not None and tile < 1:
             raise ValueError("tile must be >= 1 pixel")
         if threads < 1:
@@ -107,10 +113,22 @@ class InferenceEngine:
         self.model = model
         self.tile = tile
         self.threads = int(threads)
+        self.obs = obs
         self.halo = receptive_field_radius(model.config)
         self.scale = model.config.scale
         self.stats = EngineStats()
         self._plan = self._build_plan(model)
+
+    def _count_stats(self) -> None:
+        if self.obs is None:
+            return
+        metrics = self.obs.metrics
+        metrics.counter("dcsr_sr_tiles_total",
+                        "SR tiles executed").inc(self.stats.tile_count)
+        metrics.counter("dcsr_sr_frames_total",
+                        "Frames enhanced by the engine").inc(self.stats.frames)
+        metrics.counter("dcsr_sr_flops_total",
+                        "Forward FLOPs executed").inc(self.stats.flops)
 
     # ------------------------------------------------------------- planning
 
@@ -196,6 +214,7 @@ class InferenceEngine:
         if tile is None or (tile >= h and tile >= w):
             self.stats = EngineStats(tile_count=1, frames=n,
                                      flops=self.flops_per_pixel() * n * h * w)
+            self._count_stats()
             return self._forward(x)
 
         spans = []
@@ -228,6 +247,7 @@ class InferenceEngine:
                 run_tile(span)
         self.stats = EngineStats(tile_count=len(spans), frames=n,
                                  flops=self.flops_per_pixel() * n * h * w)
+        self._count_stats()
         return out
 
     def enhance(self, rgb: np.ndarray) -> np.ndarray:

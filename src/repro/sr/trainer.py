@@ -8,6 +8,7 @@ training-set-size behaviour with this trainer.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -58,7 +59,7 @@ class SrHistory:
 
 def train_sr(
     model: EDSR, lr_frames: np.ndarray, hr_frames: np.ndarray,
-    config: SrTrainConfig | None = None,
+    config: SrTrainConfig | None = None, obs=None,
 ) -> SrHistory:
     """Train ``model`` to map ``lr_frames`` to ``hr_frames``.
 
@@ -69,6 +70,12 @@ def train_sr(
     bit-identically to the serial build, and what makes a training run
     memoizable by its inputs in :class:`~repro.core.persist.TrainingCache`.
     Frame *order* matters: the patch sampler draws frames by index.
+
+    ``obs`` (an optional :class:`~repro.obs.Observability`) wraps the run
+    in a ``train_sr`` span and feeds per-epoch wall seconds into the
+    ``dcsr_sr_epoch_seconds`` histogram.  Pool workers pass ``None`` (the
+    session does not cross process boundaries); timing never affects the
+    trained parameters.
     """
     config = config or SrTrainConfig()
     loss_fn = nn.l1_loss if config.loss == "l1" else nn.mse_loss
@@ -77,24 +84,32 @@ def train_sr(
     schedule = nn.StepLR(optimizer, config.lr_decay_epochs,
                          config.lr_decay_gamma)
     patch = min(config.patch_size, lr_frames.shape[1], lr_frames.shape[2])
+    epoch_hist = (obs.metrics.histogram(
+        "dcsr_sr_epoch_seconds", "Wall seconds per SR training epoch")
+        if obs is not None else None)
 
     history = SrHistory()
-    for _ in range(config.epochs):
-        epoch_loss = 0.0
-        for _ in range(config.steps_per_epoch):
-            lr_b, hr_b = sample_patch_pairs(
-                lr_frames, hr_frames, patch, config.batch_size, rng,
-                scale=model.scale)
-            optimizer.zero_grad()
-            pred = model.forward(lr_b)
-            loss, grad = loss_fn(pred, hr_b)
-            model.backward(grad)
-            nn.clip_grad_norm(model.parameters(), config.grad_clip)
-            optimizer.step()
-            epoch_loss += loss
-            history.n_steps += 1
-        history.losses.append(epoch_loss / config.steps_per_epoch)
-        schedule.step()
+    with (obs.tracer.span("train_sr", epochs=config.epochs)
+          if obs is not None else nullcontext()):
+        for _ in range(config.epochs):
+            e0 = obs.clock.now() if obs is not None else 0.0
+            epoch_loss = 0.0
+            for _ in range(config.steps_per_epoch):
+                lr_b, hr_b = sample_patch_pairs(
+                    lr_frames, hr_frames, patch, config.batch_size, rng,
+                    scale=model.scale)
+                optimizer.zero_grad()
+                pred = model.forward(lr_b)
+                loss, grad = loss_fn(pred, hr_b)
+                model.backward(grad)
+                nn.clip_grad_norm(model.parameters(), config.grad_clip)
+                optimizer.step()
+                epoch_loss += loss
+                history.n_steps += 1
+            history.losses.append(epoch_loss / config.steps_per_epoch)
+            schedule.step()
+            if epoch_hist is not None:
+                epoch_hist.observe(obs.clock.now() - e0)
     return history
 
 

@@ -57,6 +57,20 @@ class TestCdfPoints:
         points = cdf_points(list(range(100)), n_points=11)
         assert len(points) == 11
 
+    def test_single_value_input(self):
+        points = cdf_points([4.2], n_points=5)
+        assert len(points) == 5
+        assert all(v == 4.2 for v, _ in points)
+        assert points[0][1] == 0.0
+        assert points[-1][1] == 1.0
+
+    def test_n_points_one_returns_the_max(self):
+        assert cdf_points([3.0, 1.0, 2.0], n_points=1) == [(3.0, 1.0)]
+
+    def test_n_points_below_one_rejected(self):
+        with pytest.raises(ValueError, match="n_points"):
+            cdf_points([1.0], n_points=0)
+
 
 class TestSaveResults:
     def test_writes_json(self, tmp_path):
@@ -71,6 +85,19 @@ class TestSaveResults:
     def test_unserializable_raises(self, tmp_path):
         with pytest.raises(TypeError):
             save_results("bad", {"x": object()}, directory=tmp_path)
+
+    def test_trace_is_embedded(self, tmp_path):
+        from repro.obs import Observability, SimulatedClock, stage_totals
+
+        obs = Observability(clock=SimulatedClock())
+        with obs.tracer.span("decode", stage="decode"):
+            obs.clock.advance(1.5)
+        path = save_results("traced", {"fps": 30.0}, directory=tmp_path,
+                            trace=obs)
+        data = json.loads(path.read_text())
+        assert data["fps"] == 30.0
+        assert data["trace"]["name"] == "session"
+        assert stage_totals(data["trace"]) == {"decode": 1.5}
 
 
 class TestWorkloads:

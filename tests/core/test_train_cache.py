@@ -40,9 +40,9 @@ def train_spy(monkeypatch):
     calls = []
     real_train = server_mod.train_sr
 
-    def counting_train(model, lq, hr, config):
+    def counting_train(model, lq, hr, config, **kwargs):
         calls.append(lq.shape[0])
-        return real_train(model, lq, hr, config)
+        return real_train(model, lq, hr, config, **kwargs)
 
     monkeypatch.setattr(server_mod, "train_sr", counting_train)
     return calls

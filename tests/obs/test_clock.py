@@ -1,0 +1,62 @@
+"""Tests for the injectable clock layer."""
+
+import threading
+
+import pytest
+
+from repro.obs import Clock, MonotonicClock, SimulatedClock, wall_clock
+
+
+class TestClockBase:
+    def test_base_now_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Clock().now()
+
+    def test_labels(self):
+        assert MonotonicClock().label == "wall"
+        assert SimulatedClock().label == "simulated"
+
+
+class TestMonotonicClock:
+    def test_is_monotonic(self):
+        clock = MonotonicClock()
+        readings = [clock.now() for _ in range(100)]
+        assert readings == sorted(readings)
+
+    def test_wall_clock_is_a_process_singleton(self):
+        assert wall_clock() is wall_clock()
+        assert isinstance(wall_clock(), MonotonicClock)
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero_and_never_moves_on_its_own(self):
+        clock = SimulatedClock()
+        assert clock.now() == 0.0
+        assert clock.now() == 0.0
+
+    def test_advance_returns_new_now(self):
+        clock = SimulatedClock(start=1.0)
+        assert clock.advance(0.5) == 1.5
+        assert clock.now() == 1.5
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError, match="advance"):
+            SimulatedClock().advance(-0.1)
+
+    def test_zero_advance_is_allowed(self):
+        clock = SimulatedClock()
+        assert clock.advance(0.0) == 0.0
+
+    def test_concurrent_advances_all_land(self):
+        clock = SimulatedClock()
+
+        def worker():
+            for _ in range(1000):
+                clock.advance(0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert clock.now() == pytest.approx(4.0)

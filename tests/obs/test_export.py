@@ -1,0 +1,166 @@
+"""Tests for the exporters: JSON round trip, stage totals, Prometheus."""
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    SimulatedClock,
+    Tracer,
+    prometheus_text,
+    render_trace_summary,
+    span_from_dict,
+    span_to_dict,
+    stage_totals,
+    trace_to_json,
+    write_metrics,
+    write_trace,
+)
+
+GOLDEN = Path(__file__).parent / "golden_metrics.txt"
+
+
+def build_session():
+    """A deterministic playback-shaped trace on a simulated clock."""
+    obs = Observability(clock=SimulatedClock(), root_name="session")
+    tracer = obs.tracer
+    session = tracer.begin("play")
+    tracer.record("download", 3.25, parent=session,
+                  clock=SimulatedClock(start=3.25), stage="download",
+                  kind="segment")
+    with tracer.span("decode", parent=session, stage="decode") as decode:
+        obs.clock.advance(0.3)
+        with tracer.span("sr", stage="sr"):
+            obs.clock.advance(0.5)
+        tracer.record("color", 0.2, stage="color")
+        obs.clock.advance(0.7)
+    assert decode.elapsed == pytest.approx(1.5)
+    tracer.end(session)
+    return obs
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_the_tree(self):
+        obs = build_session()
+        data = json.loads(trace_to_json(obs))
+        rebuilt = span_to_dict(span_from_dict(data))
+        assert rebuilt == data
+
+    def test_round_trip_with_worker_thread_spans(self):
+        obs = Observability(clock=SimulatedClock())
+        session = obs.tracer.begin("play")
+
+        def worker(i):
+            with obs.tracer.span("decode", parent=session, stage="decode",
+                                 segment=i):
+                obs.clock.advance(0.25)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        obs.tracer.end(session)
+
+        data = json.loads(trace_to_json(obs))
+        rebuilt = span_from_dict(data)
+        assert len(rebuilt.find("decode")) == 4
+        assert span_to_dict(rebuilt) == data
+
+    def test_open_span_serializes_null_duration(self):
+        tracer = Tracer(SimulatedClock())
+        tracer.begin("open")
+        data = json.loads(trace_to_json(tracer))
+        assert data["children"][0]["duration_s"] is None
+        assert span_from_dict(data).children[0].duration_s is None
+
+    def test_write_trace(self, tmp_path):
+        obs = build_session()
+        path = write_trace(tmp_path / "trace.json", obs)
+        assert json.loads(path.read_text())["name"] == "session"
+
+    def test_rejects_non_traces(self):
+        with pytest.raises(TypeError, match="cannot export"):
+            trace_to_json(42)
+
+
+class TestStageTotals:
+    def test_staged_descendants_are_excluded_from_parents(self):
+        """decode's total is its self time: nested sr/color staged spans
+        are charged to their own stages, exactly like
+        ``PlaybackTelemetry.decode_s = wall - sr_s - color_s``."""
+        obs = build_session()
+        totals = stage_totals(obs)
+        assert totals["download"] == pytest.approx(3.25)
+        assert totals["sr"] == pytest.approx(0.5)
+        assert totals["color"] == pytest.approx(0.2)
+        assert totals["decode"] == pytest.approx(1.5 - 0.5 - 0.2)
+
+    def test_unstaged_children_stay_inside_their_stage(self):
+        """A train stage keeps its full duration: per-cluster child spans
+        are unstaged detail, not separate stages."""
+        obs = Observability(clock=SimulatedClock())
+        with obs.tracer.span("train", stage="train"):
+            with obs.tracer.span("train_cluster", cluster=0):
+                obs.clock.advance(1.0)
+            with obs.tracer.span("train_cluster", cluster=1):
+                obs.clock.advance(2.0)
+        assert stage_totals(obs) == {"train": pytest.approx(3.0)}
+
+    def test_works_on_parsed_dicts_identically(self):
+        obs = build_session()
+        from_spans = stage_totals(obs)
+        from_dict = stage_totals(json.loads(trace_to_json(obs)))
+        assert from_dict == pytest.approx(from_spans)
+
+
+class TestPrometheus:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("dcsr_download_attempts_total",
+                    "Download attempts by payload kind").inc(3, kind="segment")
+        reg.counter("dcsr_download_attempts_total").inc(1, kind="model")
+        reg.gauge("dcsr_playback_achieved_fps",
+                  "Frames per compute second of the most recent session"
+                  ).set(31.5)
+        hist = reg.histogram("dcsr_sr_epoch_seconds",
+                             "Wall seconds per SR training epoch",
+                             buckets=(0.01, 0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.05)
+        hist.observe(2.0)
+        return reg
+
+    def test_matches_golden_file(self):
+        assert prometheus_text(self.make_registry()) == GOLDEN.read_text()
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("dcsr_x_total").inc(1, name='with "quotes"')
+        text = prometheus_text(reg)
+        assert 'name="with \\"quotes\\""' in text
+
+    def test_write_metrics(self, tmp_path):
+        path = write_metrics(tmp_path / "metrics.prom", self.make_registry())
+        assert path.read_text() == GOLDEN.read_text()
+
+
+class TestRenderSummary:
+    def test_one_screen_summary(self):
+        obs = build_session()
+        text = render_trace_summary(obs, title="playback trace")
+        lines = text.splitlines()
+        assert lines[0] == "== playback trace =="
+        assert lines[1].split() == ["stage", "spans", "seconds", "share"]
+        stages = {line.split()[0] for line in lines[3:]}
+        assert stages == {"download", "decode", "sr", "color", "total"}
+        assert lines[-1].startswith("total")
+        assert lines[-1].rstrip().endswith("100%")

@@ -1,0 +1,149 @@
+"""Tests for the span tree / tracer layer."""
+
+import threading
+
+from repro.obs import SimulatedClock, Span, Tracer
+
+
+def make_tracer(start=0.0):
+    clock = SimulatedClock(start=start)
+    return Tracer(clock, root_name="test"), clock
+
+
+class TestSpan:
+    def test_elapsed_is_zero_while_open(self):
+        span = Span(name="open")
+        assert span.duration_s is None
+        assert span.elapsed == 0.0
+
+    def test_walk_and_find(self):
+        root = Span(name="root", children=[
+            Span(name="a", children=[Span(name="leaf")]),
+            Span(name="leaf"),
+        ])
+        assert [s.name for s in root.walk()] == ["root", "a", "leaf", "leaf"]
+        assert len(root.find("leaf")) == 2
+        assert root.find("missing") == []
+
+
+class TestSpanContextManager:
+    def test_nesting_follows_lexical_structure(self):
+        tracer, clock = make_tracer()
+        with tracer.span("outer") as outer:
+            clock.advance(1.0)
+            with tracer.span("inner") as inner:
+                clock.advance(0.25)
+        assert tracer.root.children == [outer]
+        assert outer.children == [inner]
+        assert outer.elapsed == 1.25
+        assert inner.elapsed == 0.25
+
+    def test_attrs_are_stored(self):
+        tracer, _clock = make_tracer()
+        with tracer.span("decode", stage="decode", segment=3) as span:
+            pass
+        assert span.attrs == {"stage": "decode", "segment": 3}
+
+    def test_current_reflects_the_open_block(self):
+        tracer, _clock = make_tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_span_closes_on_exception(self):
+        tracer, clock = make_tracer()
+        try:
+            with tracer.span("failing") as span:
+                clock.advance(0.5)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert span.elapsed == 0.5
+        assert tracer.current() is None
+
+
+class TestBeginEnd:
+    def test_begin_does_not_enter_thread_stack(self):
+        """The playback session span shape: open across yields, children
+        attach via an explicit parent."""
+        tracer, clock = make_tracer()
+        session = tracer.begin("play")
+        assert tracer.current() is None          # not on the stack
+        with tracer.span("decode", parent=session):
+            clock.advance(1.0)
+        tracer.end(session)
+        assert tracer.root.children == [session]
+        assert [c.name for c in session.children] == ["decode"]
+        assert session.elapsed == 1.0
+
+    def test_end_is_idempotent(self):
+        tracer, clock = make_tracer()
+        span = tracer.begin("once")
+        clock.advance(1.0)
+        tracer.end(span)
+        clock.advance(5.0)
+        tracer.end(span)
+        assert span.elapsed == 1.0
+
+
+class TestRecord:
+    def test_wall_record_carries_no_clock_attr(self):
+        from repro.obs import MonotonicClock
+        tracer = Tracer(MonotonicClock(), root_name="test")
+        span = tracer.record("step", 0.5)
+        assert span.elapsed == 0.5
+        assert "clock" not in span.attrs
+
+    def test_simulated_record_is_tagged(self):
+        tracer, _clock = make_tracer()
+        sim = SimulatedClock()
+        sim.advance(3.0)
+        span = tracer.record("download", 2.0, clock=sim, kind="segment")
+        assert span.attrs["clock"] == "simulated"
+        assert span.attrs["kind"] == "segment"
+        assert span.start_s == 1.0               # now - seconds
+        assert span.elapsed == 2.0
+
+    def test_record_nests_under_the_open_span(self):
+        tracer, _clock = make_tracer()
+        with tracer.span("decode") as decode:
+            tracer.record("color", 0.1)
+        assert [c.name for c in decode.children] == ["color"]
+
+
+class TestThreads:
+    def test_worker_thread_spans_attach_via_explicit_parent(self):
+        tracer, clock = make_tracer()
+        session = tracer.begin("play")
+
+        def worker():
+            with tracer.span("decode", parent=session, stage="decode"):
+                clock.advance(1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        tracer.end(session)
+        assert len(session.find("decode")) == 4
+
+    def test_thread_stacks_are_independent(self):
+        """A worker's span must not nest under another thread's open span."""
+        tracer, _clock = make_tracer()
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("worker-span"):
+                pass
+            done.set()
+
+        with tracer.span("main-span") as main_span:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert done.is_set()
+        assert main_span.children == []
+        assert [c.name for c in tracer.root.children] == \
+            ["main-span", "worker-span"]

@@ -108,6 +108,82 @@ class TestPrepareParallel:
         assert "0 misses" in second  # full training-cache hit
 
 
+class TestObservabilityFlags:
+    def test_play_trace_out(self, package_dir, tmp_path, capsys):
+        import json
+
+        from repro.obs import stage_totals
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["play", str(package_dir),
+                     "--trace-out", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace -> {trace_path}" in out
+
+        data = json.loads(trace_path.read_text())
+        assert data["name"] == "play"
+        totals = stage_totals(data)
+        assert "decode" in totals
+        # Per-stage totals in the exported tree match the printed summary
+        # (up to the 2-decimal rounding of the table formatter).
+        compared = 0
+        for line in out.splitlines():
+            parts = line.split()
+            if len(parts) == 2 and parts[0] in totals:
+                assert float(parts[1]) == pytest.approx(
+                    totals[parts[0]], abs=5.1e-3)
+                compared += 1
+        assert compared >= 2
+
+    def test_play_metrics_out(self, package_dir, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.prom"
+        assert main(["play", str(package_dir),
+                     "--metrics-out", str(metrics_path)]) == 0
+        assert f"metrics -> {metrics_path}" in capsys.readouterr().out
+        text = metrics_path.read_text()
+        assert "# TYPE dcsr_playback_frames_total counter" in text
+        assert "dcsr_playback_stage_seconds_total" in text
+        assert 'stage="decode"' in text
+
+    def test_prepare_trace_and_metrics_out(self, video_file, tmp_path,
+                                           capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        rc = main(["prepare", str(video_file), "--out", str(tmp_path / "pkg"),
+                   "--epochs", "2", "--trace-out", str(trace_path),
+                   "--metrics-out", str(metrics_path)])
+        assert rc == 0
+        capsys.readouterr()
+        data = json.loads(trace_path.read_text())
+        assert data["name"] == "prepare"
+        assert [c["name"] for c in data["children"]] == ["build"]
+        assert "dcsr_build_stage_seconds_total" in metrics_path.read_text()
+
+
+class TestSummaryFormat:
+    def test_playback_summary_renders_a_table(self, package_dir, capsys):
+        """Pin the shared-format contract: the stage block of the playback
+        summary is a ``format_table`` rendering (header + dashes), under
+        the preserved ``playback stages`` headline."""
+        assert main(["play", str(package_dir)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        (start,) = [i for i, line in enumerate(lines)
+                    if line.startswith("playback stages")]
+        header = lines[start + 1].split()
+        assert header == ["stage", "seconds"]
+        assert set(lines[start + 2].strip()) <= {"-", " "}
+        stages = []
+        for line in lines[start + 3:]:
+            assert line.startswith("  ")      # table rows stay indented
+            stages.append(line.split()[0])
+            if stages[-1] == "total":
+                break
+        assert stages[0] == "download"
+        assert stages[-1] == "total"
+
+
 class TestPlan:
     def test_plan_jetson_4k_shows_oom(self, capsys):
         assert main(["plan", "--device", "jetson", "--resolution", "4k"]) == 0

@@ -1,0 +1,65 @@
+"""Static guard: all timing flows through ``repro.obs.clock``.
+
+Any ``time.perf_counter()`` / ``time.monotonic()`` call (or ``time``
+import) outside ``obs/clock.py`` bypasses the injectable clock, which
+breaks trace/telemetry matching and silently mixes wall and simulated
+seconds. This test greps the source tree so the invariant cannot rot.
+
+Docstrings and comments may *mention* timer names; only real imports and
+call sites are flagged, so the scan strips those first.
+"""
+
+import ast
+import re
+from pathlib import Path
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+ALLOWED = {SRC / "obs" / "clock.py"}
+
+TIMER_CALL = re.compile(
+    r"\btime\.(?:perf_counter|monotonic|time|process_time|sleep)\s*\(")
+TIME_IMPORT = re.compile(r"^\s*(?:import\s+time\b|from\s+time\s+import\b)")
+
+
+def code_lines(path):
+    """Yield (lineno, line) with comments and docstrings removed."""
+    text = path.read_text()
+    doc_lines = set()
+    for node in ast.walk(ast.parse(text)):
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Constant) \
+                and isinstance(node.value.value, str):
+            doc_lines.update(range(node.lineno, node.end_lineno + 1))
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if lineno not in doc_lines:
+            yield lineno, line.split("#", 1)[0]
+
+
+def scan(path):
+    hits = []
+    for lineno, line in code_lines(path):
+        if TIMER_CALL.search(line) or TIME_IMPORT.search(line):
+            hits.append(f"{path.relative_to(SRC.parent)}:{lineno}: "
+                        f"{line.strip()}")
+    return hits
+
+
+def test_source_tree_exists():
+    assert SRC.is_dir()
+    assert any(SRC.rglob("*.py"))
+
+
+def test_no_raw_timers_outside_the_clock_module():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        offenders.extend(scan(path))
+    assert not offenders, (
+        "raw timer usage outside repro/obs/clock.py — route it through an "
+        "injectable Clock instead:\n" + "\n".join(offenders))
+
+
+def test_the_clock_module_itself_uses_the_timer():
+    """Sanity-check the scanner: clock.py must trip it, proving the
+    regexes actually detect the pattern they guard against."""
+    assert scan(SRC / "obs" / "clock.py")
