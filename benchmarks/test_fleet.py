@@ -1,0 +1,143 @@
+"""Fleet serving: cache amortization and goodput as sessions scale.
+
+Runs the multi-session serving simulator over a 4-cluster package
+(``k_override=4`` so several distinct micro models are in play) at fleet
+sizes 1/2/4/8 and records the serving-layer value propositions next to
+each other: cross-session cache hit rate versus a solo session, aggregate
+model bytes versus N× solo, goodput under a shared fair-share uplink, and
+the per-session stall CDF.  A final batched run checks that cross-session
+SR batching is a pure throughput optimisation — frames stay bitwise equal
+to the per-session engine path.
+"""
+
+import os
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.bench import print_table, save_results
+from repro.core import DcsrClient, ServerConfig, build_package
+from repro.core.client import FastPathConfig
+from repro.features import VaeTrainConfig
+from repro.obs import Observability
+from repro.serve import FleetConfig, FleetSimulator
+from repro.sr import EdsrConfig, SrTrainConfig
+from repro.video import make_video
+from repro.video.codec import CodecConfig
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+FLEET_SIZES = [1, 2, 4, 8]
+
+
+def _package():
+    clip = make_video("fleet-bench", genre="sports", seed=13, size=(48, 64),
+                      duration_seconds=4.0 if FAST else 8.0, fps=10,
+                      n_distinct_scenes=4)
+    epochs = 6 if FAST else 15
+    config = ServerConfig(
+        codec=CodecConfig(crf=48),
+        max_segment_len=10,
+        k_override=4,           # several distinct micro models in play
+        vae_train=VaeTrainConfig(epochs=4 if FAST else 8, batch_size=4),
+        sr_train=SrTrainConfig(epochs=epochs, steps_per_epoch=10,
+                               batch_size=8, patch_size=16,
+                               lr_decay_epochs=max(2, epochs // 2)),
+        micro_config=EdsrConfig(n_resblocks=1, n_filters=4),
+        validate_in_loop=False,
+    )
+    return clip, build_package(clip, config)
+
+
+def _fleet_config(sessions):
+    return FleetConfig(sessions=sessions, arrival="poisson:2.0",
+                       bandwidth_bps=4e6, latency_s=0.01, seed=2)
+
+
+def test_fleet_scaling(benchmark):
+    clip, package = _package()
+
+    def experiment():
+        solo = DcsrClient(package).play()
+        obs = Observability(root_name="fleet-bench")
+        runs = {}
+        for sessions in FLEET_SIZES:
+            sim = FleetSimulator(package, _fleet_config(sessions),
+                                 obs=obs if sessions == max(FLEET_SIZES)
+                                 else None)
+            runs[sessions] = sim.run()
+        batched = FleetSimulator(
+            package,
+            FleetConfig(sessions=3, batching=True, max_batch=4,
+                        max_wait_s=0.01)).run()
+        engine_solo = DcsrClient(
+            package, fast_path=FastPathConfig(calibrate=False)).play()
+        return solo, runs, batched, engine_solo, obs
+
+    solo, runs, batched, engine_solo, obs = run_once(benchmark, experiment)
+
+    rows = []
+    for sessions in FLEET_SIZES:
+        t = runs[sessions].telemetry
+        rows.append([
+            sessions,
+            f"{t.cache_hit_rate:.0%}",
+            t.cache_downloads,
+            t.total_model_bytes,
+            t.total_video_bytes,
+            f"{t.aggregate_goodput_bps / 1e6:.2f}",
+            t.peak_network_concurrency,
+        ])
+    print_table(
+        f"Fleet scaling ({len(package.segments)} segments, "
+        f"{len(package.models)} micro models)",
+        ["sessions", "hit rate", "downloads", "model B", "video B",
+         "goodput Mb/s", "peak net"], rows)
+
+    biggest = runs[max(FLEET_SIZES)].telemetry
+    save_results("fleet", {
+        "n_segments": len(package.segments),
+        "n_models": len(package.models),
+        "solo": {
+            "cache_hit_rate": solo.cache_stats.hit_rate,
+            "model_bytes": solo.model_bytes,
+            "video_bytes": solo.video_bytes,
+        },
+        "fleet": {
+            str(sessions): {
+                "cache_hit_rate": runs[sessions].telemetry.cache_hit_rate,
+                "cache_downloads": runs[sessions].telemetry.cache_downloads,
+                "total_model_bytes":
+                    runs[sessions].telemetry.total_model_bytes,
+                "total_video_bytes":
+                    runs[sessions].telemetry.total_video_bytes,
+                "aggregate_goodput_bps":
+                    runs[sessions].telemetry.aggregate_goodput_bps,
+                "mean_stall_ratio":
+                    runs[sessions].telemetry.mean_stall_ratio,
+                "stall_cdf": runs[sessions].telemetry.stall_cdf,
+                "peak_network_concurrency":
+                    runs[sessions].telemetry.peak_network_concurrency,
+            } for sessions in FLEET_SIZES
+        },
+        "batched": {
+            "n_batches": batched.telemetry.n_batches,
+            "mean_batch_size": batched.telemetry.mean_batch_size,
+        },
+    }, trace=obs)  # the result file carries the 8-session span tree
+
+    # Cross-session amortization: the fleet's hit rate beats a solo
+    # session's, and model bytes stay (far) below N× solo — with an
+    # unbounded shared cache every label is fetched exactly once.
+    assert biggest.completed == max(FLEET_SIZES)
+    assert biggest.cache_hit_rate > solo.cache_stats.hit_rate
+    assert biggest.total_model_bytes < max(FLEET_SIZES) * solo.model_bytes
+    assert biggest.total_model_bytes == solo.model_bytes
+    # The stall CDF covers every session.
+    assert biggest.stall_cdf[-1][1] == 1.0
+
+    # Batching is a pure optimisation: bitwise-equal frames.
+    assert batched.telemetry.n_batches > 0
+    for shell in batched.completed():
+        for ours, theirs in zip(shell.result.frames, engine_solo.frames):
+            assert np.array_equal(ours, theirs)

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tiered test gate, as documented in docs/testing.md.
+#
+#   tier 1  fast correctness suite — the merge gate; excludes anything
+#           marked tier2 or timing
+#   tier 2  slower, benchmark-adjacent tests plus wall-clock timing
+#           guards; run before release or after touching hot paths
+#
+# --strict-markers turns any unregistered @pytest.mark.<name> into a
+# collection error, so a typo'd tier mark cannot silently drop a test
+# out of the gate.
+#
+# Usage: scripts/check_tests.sh [tier1|tier2|all]   (default: all)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+tier="${1:-all}"
+
+run_tier1() {
+    echo "== tier 1: fast correctness gate =="
+    python -m pytest -x -q --strict-markers -m "not tier2 and not timing"
+}
+
+run_tier2() {
+    echo "== tier 2: slow / timing-sensitive =="
+    python -m pytest -q --strict-markers -m "tier2 or timing"
+}
+
+case "$tier" in
+    tier1) run_tier1 ;;
+    tier2) run_tier2 ;;
+    all)   run_tier1; run_tier2 ;;
+    *) echo "usage: $0 [tier1|tier2|all]" >&2; exit 2 ;;
+esac

@@ -6,6 +6,7 @@ End-to-end workflow from a shell::
     repro-dcsr prepare video.npz --out pkg/ --crf 51
     repro-dcsr info pkg/
     repro-dcsr play pkg/ --reference video.npz
+    repro-dcsr serve pkg/ --sessions 8 --arrival poisson:2 --bandwidth 2e6
     repro-dcsr plan --device jetson --resolution 4k
 """
 
@@ -96,6 +97,54 @@ def build_parser() -> argparse.ArgumentParser:
     play.add_argument("--metrics-out", default=None, metavar="FILE",
                       help="write the session's metrics in Prometheus "
                            "text format")
+
+    serve = sub.add_parser(
+        "serve", help="simulate a fleet of concurrent streaming sessions")
+    serve.add_argument("package", help="package directory")
+    serve.add_argument("--sessions", type=int, default=4,
+                       help="number of viewer sessions to simulate")
+    serve.add_argument("--arrival", default="all", metavar="SPEC",
+                       help="arrival schedule: all | poisson:<rate> | "
+                            "uniform:<gap-seconds>")
+    serve.add_argument("--bandwidth", type=float, default=None,
+                       help="shared uplink bandwidth in bit/s, split "
+                            "fairly among active transfers "
+                            "(default: instantaneous)")
+    serve.add_argument("--latency", type=float, default=0.0,
+                       help="simulated per-request latency in seconds")
+    serve.add_argument("--fail-rate", type=float, default=0.0,
+                       help="injected per-download failure probability")
+    serve.add_argument("--retries", type=int, default=3,
+                       help="retry budget per download (with backoff)")
+    serve.add_argument("--cache-capacity", type=int, default=None,
+                       metavar="N",
+                       help="shared model cache bound (default unbounded)")
+    serve.add_argument("--max-sessions", type=int, default=None, metavar="N",
+                       help="admission-control concurrency limit "
+                            "(default: admit everyone)")
+    serve.add_argument("--admission", choices=("queue", "reject"),
+                       default="queue",
+                       help="what to do with arrivals over --max-sessions")
+    serve.add_argument("--batching", action="store_true",
+                       help="batch SR frames across sessions into one "
+                            "GEMM call (bit-identical output)")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="largest cross-session SR batch")
+    serve.add_argument("--fallback", action="store_true",
+                       help="sessions play segments whose model fetch "
+                            "fails unenhanced instead of raising")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="fleet seed (arrivals + per-session failures)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="wall-clock thread-pool width (execution "
+                            "only; simulated numbers are unaffected)")
+    serve.add_argument("--reference", default=None,
+                       help="original video .npz for quality scoring")
+    serve.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the fleet's span tree as JSON")
+    serve.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the fleet's metrics in Prometheus "
+                            "text format")
 
     plan = sub.add_parser("plan", help="device feasibility table")
     plan.add_argument("--device", default="jetson",
@@ -244,6 +293,43 @@ def _cmd_play(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .core import load_package
+    from .obs import Observability
+    from .serve import FleetConfig, FleetSimulator
+
+    package = load_package(args.package)
+    reference = _load_clip(args.reference).frames if args.reference else None
+    config = FleetConfig(
+        sessions=args.sessions, arrival=args.arrival,
+        bandwidth_bps=args.bandwidth, latency_s=args.latency,
+        fail_rate=args.fail_rate, retries=args.retries,
+        cache_capacity=args.cache_capacity,
+        max_sessions=args.max_sessions, admission=args.admission,
+        batching=args.batching, max_batch=args.max_batch,
+        fallback=args.fallback, seed=args.seed, workers=args.workers,
+    )
+    obs = Observability(root_name="serve")
+    simulator = FleetSimulator(package, config, obs=obs)
+    fleet = simulator.run(reference)
+    for line in fleet.telemetry.summary_lines():
+        print(line)
+    if reference is not None:
+        completed = fleet.completed()
+        if completed:
+            psnrs = [s.result.mean_psnr for s in completed]
+            print(f"  quality  {float(np.mean(psnrs)):.2f} dB mean PSNR "
+                  f"across sessions")
+    degraded = [(s.session_id, s.result)
+                for s in fleet.completed()
+                if s.result.skipped_segments or s.result.fallback_segments]
+    for sid, result in degraded:
+        print(f"  session {sid}: concealed {result.skipped_segments}, "
+              f"fallback {result.fallback_segments}")
+    _write_obs(args, obs)
+    return 0
+
+
 def _cmd_plan(args) -> int:
     from .bench.runner import format_table
     from .devices import OutOfMemory, get_device, inference_seconds, playback_fps
@@ -278,6 +364,7 @@ _COMMANDS = {
     "prepare": _cmd_prepare,
     "info": _cmd_info,
     "play": _cmd_play,
+    "serve": _cmd_serve,
     "plan": _cmd_plan,
 }
 

@@ -4,10 +4,20 @@ The client keeps every downloaded micro model; when a later segment maps to
 a model label already in the cache, no download happens.  An optional LRU
 capacity bound extends the paper's unbounded cache to memory-constrained
 clients (failure-injection tests exercise it).
+
+:class:`ModelCache` is the single-owner cache one playback session holds.
+Store and counter mutations are guarded by a lock, so its accounting stays
+exact even when a session's prefetch producer and main thread touch it
+concurrently — but it deliberately has no cross-request coordination:
+two threads missing on the same label both fetch (last write wins).  The
+fleet-scale cache with single-flight fetches and refcount pinning is
+:class:`repro.serve.SharedModelCache`, which shares the
+:class:`CacheStats` shape and the ``acquire``/``release`` protocol below.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Generic, TypeVar
@@ -54,37 +64,64 @@ class ModelCache(Generic[M]):
         self._fetch = fetch
         self._capacity = capacity
         self._store: OrderedDict[int, M] = OrderedDict()
+        # Guards the store and every CacheStats mutation.  The fetch itself
+        # runs outside the lock (it may take simulated network time), so
+        # unrelated labels never serialize on each other; the cost is that
+        # concurrent misses on the *same* label may both fetch.
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def __contains__(self, label: int) -> bool:
-        return label in self._store
+        with self._lock:
+            return label in self._store
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def get(self, label: int) -> M:
         """Algorithm 1 body: fetch on miss, then return the cached model."""
-        if label in self._store:
-            self.stats.hits += 1
-            self._store.move_to_end(label)
-            return self._store[label]
+        with self._lock:
+            if label in self._store:
+                self.stats.hits += 1
+                self._store.move_to_end(label)
+                return self._store[label]
         try:
             model = self._fetch(label)
         except Exception:
             # A failed fetch never counts as a download and never caches;
             # the caller may retry (or fall back) on the next request.
-            self.stats.failed_fetches += 1
+            # The increment happens under the lock: the bare ``+= 1`` is a
+            # read-modify-write that loses updates under thread contention.
+            with self._lock:
+                self.stats.failed_fetches += 1
             raise
-        self.stats.downloads += 1
-        self.stats.downloaded_labels.append(label)
-        self._store[label] = model
-        if self._capacity is not None and len(self._store) > self._capacity:
-            self._store.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self.stats.downloads += 1
+            self.stats.downloaded_labels.append(label)
+            self._store[label] = model
+            if self._capacity is not None and len(self._store) > self._capacity:
+                self._store.popitem(last=False)
+                self.stats.evictions += 1
         return model
 
+    def acquire(self, label: int) -> M:
+        """Protocol-compatible alias of :meth:`get`.
+
+        The streaming client brackets each segment's model use with
+        ``acquire``/``release`` so a refcounting cache
+        (:class:`repro.serve.SharedModelCache`) can pin the entry against
+        eviction mid-SR; the single-owner cache has no refcounts, so
+        acquire is just a get.
+        """
+        return self.get(label)
+
+    def release(self, label: int) -> None:
+        """No-op counterpart of :meth:`acquire` (no refcounts here)."""
+
     def clear(self) -> None:
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
 
 
 def simulate_caching(

@@ -312,6 +312,25 @@ class DcsrClient:
         session when it has one, else a fresh session; either way the
         network is bound to the same session so download counters land in
         the same registry.
+    model_cache:
+        Optional *shared* model cache (duck-typed to
+        :class:`repro.serve.SharedModelCache`: must expose
+        ``session(fetch)`` returning a per-session view with
+        ``acquire``/``release``/``stats``).  When given, Algorithm 1 runs
+        against the fleet-wide cache — a model another session already
+        downloaded is a hit here, and the entry is refcount-pinned for the
+        duration of each segment so eviction can never drop a model
+        mid-SR.  ``cache_capacity`` is ignored (the shared cache carries
+        its own bound).
+    engine_provider:
+        Optional ``model -> engine`` factory overriding how SR engines are
+        built (``engine.enhance(rgb)`` plus an ``EngineStats``-shaped
+        ``stats`` attribute).  The fleet simulator injects
+        :class:`repro.serve.BatchingInferenceEngine` adapters here so
+        I-frame tiles from many sessions share one GEMM call.
+    span_attrs:
+        Extra attributes stamped on the session's ``play`` span (fleet
+        runs tag each session's subtree with its session id).
     """
 
     def __init__(self, package: DcsrPackage, cache_capacity: int | None = None,
@@ -319,12 +338,20 @@ class DcsrClient:
                  retry: RetryPolicy | None = None,
                  fallback: bool = False,
                  fast_path: FastPathConfig | None = None,
-                 obs: Observability | None = None):
+                 obs: Observability | None = None,
+                 model_cache=None,
+                 engine_provider=None,
+                 span_attrs: dict | None = None):
         if fast_path is not None and fast_path.prefetch < 0:
             raise ValueError("prefetch must be >= 0")
         self.package = package
-        self._cache: ModelCache[EDSR] = ModelCache(
-            fetch=self._download_model, capacity=cache_capacity)
+        if model_cache is not None:
+            self._cache = model_cache.session(self._download_model)
+        else:
+            self._cache = ModelCache(
+                fetch=self._download_model, capacity=cache_capacity)
+        self._engine_provider = engine_provider
+        self._span_attrs = dict(span_attrs or {})
         self._network = network
         self._retry = retry
         self._fallback = bool(fallback)
@@ -346,17 +373,22 @@ class DcsrClient:
         self._fetch_attempts = 0
         self.last_result: PlaybackResult | None = None
 
-    def _engine_for(self, model: EDSR) -> InferenceEngine:
+    def _engine_for(self, model: EDSR):
         """The per-model fast-path engine (built once per session model).
 
         Engines live on the client, not the model, so a shared package's
         models are never mutated and concurrent sessions stay independent.
+        An injected ``engine_provider`` (cross-session batching) takes
+        precedence over the private per-session engine.
         """
         engine = self._engines.get(id(model))
         if engine is None:
-            engine = InferenceEngine(model, tile=self._fast.tile,
-                                     threads=self._fast.sr_threads,
-                                     obs=self.obs)
+            if self._engine_provider is not None:
+                engine = self._engine_provider(model)
+            else:
+                engine = InferenceEngine(model, tile=self._fast.tile,
+                                         threads=self._fast.sr_threads,
+                                         obs=self.obs)
             self._engines[id(model)] = engine
         return engine
 
@@ -416,7 +448,7 @@ class DcsrClient:
         # across generator yields), so it uses begin/end and stage spans
         # name it as an explicit parent.
         self._session = self.obs.tracer.begin(
-            "play", segments=len(package.segments))
+            "play", segments=len(package.segments), **self._span_attrs)
 
         decoder = Decoder(
             hook_display_only=not package.manifest.enhance_in_loop)
@@ -600,25 +632,33 @@ class DcsrClient:
 
         model = self._acquire_model(segment.index, seg_t, result)
         decoded = None
-        if self._fetch_segment(encoded_segment, seg_t, result):
-            # Passthrough fallback decodes with no hook at all —
-            # bit-identical to the plain (LOW) decode.
-            decoder.i_frame_hook = (
-                None if model is None
-                else self._timed_hook(model, seg_t))
-            # The decode span nests the hook's sr/color spans (same
-            # thread), so its staged self-time equals decode_s below.
-            with self.obs.tracer.span("decode", parent=self._session,
-                                      stage="decode",
-                                      segment=segment.index) as span:
-                try:
-                    decoded = decoder.decode_segment(
-                        encoded_segment, package.encoded.width,
-                        package.encoded.height)
-                except (DecodeError, EOFError):
-                    decoded = None
-            seg_t.decode_s = max(0.0,
-                                 span.elapsed - seg_t.sr_s - seg_t.color_s)
+        try:
+            if self._fetch_segment(encoded_segment, seg_t, result):
+                # Passthrough fallback decodes with no hook at all —
+                # bit-identical to the plain (LOW) decode.
+                decoder.i_frame_hook = (
+                    None if model is None
+                    else self._timed_hook(model, seg_t))
+                # The decode span nests the hook's sr/color spans (same
+                # thread), so its staged self-time equals decode_s below.
+                with self.obs.tracer.span("decode", parent=self._session,
+                                          stage="decode",
+                                          segment=segment.index) as span:
+                    try:
+                        decoded = decoder.decode_segment(
+                            encoded_segment, package.encoded.width,
+                            package.encoded.height)
+                    except (DecodeError, EOFError):
+                        decoded = None
+                seg_t.decode_s = max(
+                    0.0, span.elapsed - seg_t.sr_s - seg_t.color_s)
+        finally:
+            # The model was pinned by acquire for the duration of decode
+            # (where every SR inference happens); release the pin so a
+            # bounded shared cache may evict it again.
+            if model is not None:
+                self._cache.release(
+                    package.manifest.model_label_for(segment.index))
 
         if decoded is None:
             if seg_t.status == "fallback":
@@ -684,7 +724,7 @@ class DcsrClient:
         self._fetch_seconds = 0.0
         self._fetch_attempts = 0
         try:
-            model = self._cache.get(label)
+            model = self._cache.acquire(label)
         except (KeyError, DownloadError) as exc:
             if isinstance(exc, DownloadError):
                 self._fetch_seconds += exc.seconds
@@ -752,7 +792,8 @@ class DcsrClient:
         report the measured speedup.  Calibration seconds are measurement
         overhead and are excluded from stage accounting.
         """
-        engine = self._engine_for(model) if self._fast is not None else None
+        use_engine = self._fast is not None or self._engine_provider is not None
+        engine = self._engine_for(model) if use_engine else None
         tracer = self.obs.tracer
         clock = tracer.clock
 
@@ -769,7 +810,8 @@ class DcsrClient:
                 sr_s = sp.elapsed
             else:
                 ref_s = None
-                if self._fast.calibrate and not self._speedup_sample:
+                if self._fast is not None and self._fast.calibrate \
+                        and not self._speedup_sample:
                     # Calibration is measurement overhead: no span, so it
                     # stays inside decode self-time, exactly as decode_s
                     # accounts it.

@@ -100,7 +100,8 @@ class SimulatedNetwork:
 
     def __init__(self, config: NetworkConfig | None = None,
                  failure_schedule: Sequence[bool] | None = None,
-                 obs: Observability | None = None):
+                 obs: Observability | None = None,
+                 session: str | None = None):
         self.config = config or NetworkConfig()
         self._schedule = list(failure_schedule or [])
         self._schedule_pos = 0
@@ -108,9 +109,15 @@ class SimulatedNetwork:
         self.stats = DownloadStats()
         self.clock = SimulatedClock()
         self.obs = obs
+        #: Optional session tag added to every metric this network emits —
+        #: fleet runs (:mod:`repro.serve`) share one registry across many
+        #: concurrent sessions and need per-session attribution.
+        self.session = session
 
     def _count(self, name: str, value: float, help: str, **labels) -> None:
         if self.obs is not None:
+            if self.session is not None:
+                labels = {"session": self.session, **labels}
             self.obs.metrics.counter(name, help).inc(value, **labels)
 
     def _next_attempt_fails(self) -> bool:
@@ -140,14 +147,23 @@ class SimulatedNetwork:
             raise DownloadError(
                 f"injected failure downloading {kind} {key}",
                 seconds=self.config.latency_s)
-        seconds = self.config.latency_s
-        if self.config.bandwidth_bps is not None:
-            seconds += 8.0 * n_bytes / self.config.bandwidth_bps
+        seconds = self.config.latency_s + self._transfer_seconds(n_bytes)
         self.clock.advance(seconds)
         self.stats.bytes_delivered += int(n_bytes)
         self._count("dcsr_download_bytes_total", int(n_bytes),
                     "Bytes delivered by payload kind", kind=kind)
         return seconds
+
+    def _transfer_seconds(self, n_bytes: int) -> float:
+        """Simulated transfer time of one successful payload (no latency).
+
+        The dedicated-link model charges the configured bandwidth in full;
+        :class:`repro.serve.SharedNetworkPool` overrides this to charge a
+        fair share of one pool shared by every concurrent session.
+        """
+        if self.config.bandwidth_bps is None:
+            return 0.0
+        return 8.0 * n_bytes / self.config.bandwidth_bps
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,47 @@
+"""Multi-session serving layer: the fleet around the dcSR client.
+
+Everything in this package scales the single-viewer pieces of
+:mod:`repro.core` to N concurrent sessions sharing one serving substrate:
+
+- :class:`SharedModelCache` / :class:`CacheSession` — one fleet-wide
+  micro-model cache (locked, LRU, refcount-pinned, single-flight
+  fetches);
+- :class:`SharedNetworkPool` / :class:`PooledNetwork` — one simulated
+  uplink split fairly among active transfers;
+- :class:`BatchingInferenceEngine` — cross-session SR batching with
+  bit-identical per-frame output;
+- :class:`FleetSimulator` — N :class:`~repro.core.client.DcsrClient`
+  sessions over all of the above, with seeded arrivals, admission
+  control, and fleet telemetry.
+
+Dependencies run one way: ``repro.serve`` imports ``repro.core`` /
+``repro.sr`` / ``repro.obs``; nothing below imports ``repro.serve``
+(clients accept the shared pieces duck-typed).
+"""
+
+from .batching import BatchingInferenceEngine, BatchingStats
+from .netpool import PooledNetwork, SharedNetworkPool
+from .scheduler import (
+    FleetConfig,
+    FleetResult,
+    FleetSimulator,
+    FleetTelemetry,
+    SessionResult,
+    arrival_times,
+)
+from .shared_cache import CacheSession, SharedModelCache
+
+__all__ = [
+    "SharedModelCache",
+    "CacheSession",
+    "SharedNetworkPool",
+    "PooledNetwork",
+    "BatchingInferenceEngine",
+    "BatchingStats",
+    "FleetConfig",
+    "FleetResult",
+    "FleetSimulator",
+    "FleetTelemetry",
+    "SessionResult",
+    "arrival_times",
+]

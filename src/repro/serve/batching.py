@@ -1,0 +1,257 @@
+"""Cross-session SR batching: many sessions, one GEMM call.
+
+Concurrent sessions playing the same video enhance I frames with the same
+per-cluster micro model.  The tap-decomposed NHWC forward
+(:class:`~repro.sr.engine.InferenceEngine`) is batch-transparent: each 3x3
+conv is nine ``(W, Cin) @ (Cin, Cout)`` GEMMs applied per row of each
+frame, so an ``(N, H, W, C)`` batch runs the *same* per-row GEMMs as N
+single-frame calls — only with better kernel amortization and cache
+behaviour.  That makes batched output **bitwise identical** per frame to
+the per-session engine (asserted by ``tests/serve/test_fleet.py`` and the
+fleet benchmark), which is what lets the fleet simulator batch across
+session boundaries without changing what any viewer sees.
+
+:class:`BatchingInferenceEngine` implements leader–follower batching:
+
+- Sessions submit frames through per-session adapter engines
+  (:meth:`BatchingInferenceEngine.engine_for`), duck-typed to the
+  ``enhance(rgb)`` / ``stats`` protocol the streaming client speaks.
+- Requests group by ``(model, frame shape)``.  The first submitter of a
+  group becomes the leader: it waits up to ``max_wait_s`` wall seconds
+  (or until ``max_batch`` frames are pending) for co-arriving frames,
+  stacks them, and runs one :meth:`InferenceEngine.enhance_batch` call.
+- Followers block on the group's condition and wake with their slice of
+  the batched output plus their per-frame share of the engine counters.
+
+All waiting is :class:`threading.Condition` based with deadlines read
+from the process wall clock — no raw ``time`` usage (the static
+no-raw-timers guard covers this module too).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs import Observability, wall_clock
+from ..sr.edsr import EDSR
+from ..sr.engine import EngineStats, InferenceEngine
+
+__all__ = ["BatchingInferenceEngine", "BatchingStats"]
+
+
+@dataclass
+class BatchingStats:
+    """Aggregate accounting across every batch this engine dispatched."""
+
+    n_batches: int = 0
+    n_frames: int = 0
+    max_batch_seen: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.n_frames / self.n_batches if self.n_batches else 0.0
+
+
+class _Request:
+    """One pending frame: filled in by the group leader."""
+
+    __slots__ = ("frame", "out", "stats", "error")
+
+    def __init__(self, frame: np.ndarray):
+        self.frame = frame
+        self.out: np.ndarray | None = None
+        self.stats: EngineStats | None = None
+        self.error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.out is not None or self.error is not None
+
+
+class _Group:
+    """Batching state for one ``(model, frame shape)`` combination."""
+
+    __slots__ = ("engine", "engine_lock", "cond", "pending", "leader_active")
+
+    def __init__(self, engine: InferenceEngine, engine_lock: threading.Lock):
+        self.engine = engine
+        #: Serializes engine use: ``engine.stats`` is per-call state, and
+        #: groups of different frame shapes share one engine (and so one
+        #: lock) per model.
+        self.engine_lock = engine_lock
+        self.cond = threading.Condition()
+        self.pending: list[_Request] = []
+        self.leader_active = False
+
+
+class _SessionEngine:
+    """One session's view of the shared batcher.
+
+    Duck-typed to :class:`~repro.sr.engine.InferenceEngine`'s client
+    contract: ``enhance(rgb)`` plus a ``stats`` attribute holding the most
+    recent call's counters — here the per-frame share of the batched call
+    this frame rode in (:meth:`EngineStats.per_frame`).
+    """
+
+    def __init__(self, batcher: "BatchingInferenceEngine", model: EDSR):
+        self._batcher = batcher
+        self._model = model
+        self.stats = EngineStats()
+
+    def enhance(self, rgb: np.ndarray) -> np.ndarray:
+        out, stats = self._batcher.submit(self._model, rgb)
+        self.stats = stats
+        return out
+
+
+class BatchingInferenceEngine:
+    """Fleet-shared SR executor batching frames across sessions.
+
+    Parameters
+    ----------
+    max_batch:
+        Largest number of frames stacked into one engine call.
+    max_wait_s:
+        How long (wall seconds) a batch leader holds the door open for
+        co-arriving frames before dispatching a partial batch.  0 disables
+        waiting: every frame dispatches immediately (batching then only
+        merges frames that were already pending).
+    tile / threads:
+        Passed through to each underlying per-model
+        :class:`~repro.sr.engine.InferenceEngine`.
+    obs:
+        Optional :class:`~repro.obs.Observability`: batch sizes land in
+        the ``dcsr_batch_size`` histogram, totals in
+        ``dcsr_batches_total`` / ``dcsr_batched_frames_total``.
+    """
+
+    def __init__(self, max_batch: int = 8, max_wait_s: float = 0.002,
+                 tile: int | None = None, threads: int = 1,
+                 obs: Observability | None = None):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.tile = tile
+        self.threads = int(threads)
+        self.obs = obs
+        self.stats = BatchingStats()
+        self._clock = wall_clock()
+        self._lock = threading.Lock()       # groups dict + self.stats
+        self._engines: dict[int, tuple[InferenceEngine, threading.Lock]] = {}
+        self._groups: dict[tuple, _Group] = {}
+
+    def engine_for(self, model: EDSR) -> _SessionEngine:
+        """A fresh per-session adapter (the client's ``engine_provider``)."""
+        return _SessionEngine(self, model)
+
+    # ------------------------------------------------------------- batching
+
+    def submit(self, model: EDSR,
+               rgb: np.ndarray) -> tuple[np.ndarray, EngineStats]:
+        """Enhance one frame, possibly riding a cross-session batch.
+
+        Blocks until the frame's batch has run; returns the enhanced frame
+        and its per-frame share of the batched call's counters.
+        """
+        if rgb.ndim != 3 or rgb.shape[2] != 3:
+            raise ValueError(f"expected (H, W, 3) RGB frame, got {rgb.shape}")
+        frame = np.asarray(rgb, dtype=np.float32)
+        group = self._group_for(model, frame.shape)
+        request = _Request(frame)
+        cond = group.cond
+        cond.acquire()
+        try:
+            group.pending.append(request)
+            if len(group.pending) >= self.max_batch:
+                cond.notify_all()           # wake a leader waiting for more
+            while not request.done:
+                if group.leader_active:
+                    cond.wait()
+                    continue
+                self._lead(group)           # serves request (or re-loops)
+        finally:
+            cond.release()
+        if request.error is not None:
+            raise request.error
+        return request.out, request.stats
+
+    def _lead(self, group: _Group) -> None:
+        """Run one batch as the group leader (``group.cond`` held).
+
+        Collects up to ``max_batch`` pending requests after holding the
+        door open ``max_wait_s``, releases the condition for the engine
+        call, then distributes results under it again.  The caller's own
+        request is normally in the batch; when a backlog pushed it out,
+        the caller's loop simply elects a leader again.
+        """
+        group.leader_active = True
+        deadline = self._clock.now() + self.max_wait_s
+        while len(group.pending) < self.max_batch:
+            remaining = deadline - self._clock.now()
+            if remaining <= 0:
+                break
+            group.cond.wait(remaining)
+        batch = group.pending[:self.max_batch]
+        del group.pending[:self.max_batch]
+        group.cond.release()
+        outputs = stats = error = None
+        try:
+            outputs, stats = self._run_batch(group, batch)
+        except BaseException as exc:        # delivered to every rider
+            error = exc
+        finally:
+            group.cond.acquire()
+            for i, request in enumerate(batch):
+                if error is not None:
+                    request.error = error
+                else:
+                    request.out = outputs[i]
+                    request.stats = stats
+            group.leader_active = False
+            group.cond.notify_all()
+
+    def _run_batch(self, group: _Group,
+                   batch: list[_Request]) -> tuple[np.ndarray, EngineStats]:
+        frames = np.stack([request.frame for request in batch])
+        with group.engine_lock:
+            outputs = group.engine.enhance_batch(frames)
+            per_frame = group.engine.stats.per_frame()
+        with self._lock:
+            self.stats.n_batches += 1
+            self.stats.n_frames += len(batch)
+            self.stats.max_batch_seen = max(self.stats.max_batch_seen,
+                                            len(batch))
+        if self.obs is not None:
+            metrics = self.obs.metrics
+            metrics.histogram(
+                "dcsr_batch_size", "Frames per cross-session SR batch",
+                buckets=tuple(float(b) for b in range(1, self.max_batch + 1)),
+            ).observe(len(batch))
+            metrics.counter("dcsr_batches_total",
+                            "Cross-session SR batches dispatched").inc()
+            metrics.counter("dcsr_batched_frames_total",
+                            "Frames enhanced through the batcher"
+                            ).inc(len(batch))
+        return outputs, per_frame
+
+    # ------------------------------------------------------------ internals
+
+    def _group_for(self, model: EDSR, shape: tuple) -> _Group:
+        with self._lock:
+            pair = self._engines.get(id(model))
+            if pair is None:
+                pair = self._engines[id(model)] = (
+                    InferenceEngine(model, tile=self.tile,
+                                    threads=self.threads),
+                    threading.Lock())
+            key = (id(model), shape)
+            group = self._groups.get(key)
+            if group is None:
+                group = self._groups[key] = _Group(*pair)
+            return group

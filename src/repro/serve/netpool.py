@@ -1,0 +1,164 @@
+"""Fair-share bandwidth pool: one simulated uplink shared by a fleet.
+
+A single :class:`~repro.core.network.SimulatedNetwork` models a dedicated
+link per client; a fleet does not get N dedicated links.
+:class:`SharedNetworkPool` models one pool of ``bandwidth_bps`` split
+fairly among whatever transfers are in flight: a transfer entering the
+pool is charged piecewise — while ``k`` transfers overlap it in simulated
+time, each progresses at ``bandwidth / k`` — with the share recomputed at
+every overlap boundary (a concurrent transfer joining or leaving changes
+``k`` from that instant on).
+
+The model is *causal*: a new transfer is slowed by transfers already in
+flight, but cannot retroactively slow transfers that already completed in
+simulated time (a synchronous ``download()`` must return its duration
+immediately).  With a single session the pool degenerates exactly to the
+dedicated link — transfers never overlap, every share is the full
+bandwidth — which is what the determinism regression tests pin down.
+
+Each session draws a :class:`PooledNetwork` from the pool: a
+:class:`SimulatedNetwork` subclass with
+
+- its **own failure RNG stream**, seeded from ``(pool seed, session id)``,
+  so the injected failure/latency schedule of a session is bit-identical
+  across runs regardless of how the OS interleaves session threads;
+- its **own simulated clock** (per-session time domain), offset by the
+  session's arrival time when mapped onto the pool timeline;
+- per-session metric labels (``session="3"``) on every download counter.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.network import NetworkConfig, SimulatedNetwork
+from ..obs import Observability
+
+__all__ = ["SharedNetworkPool", "PooledNetwork"]
+
+#: Multiplier folding a session id into the pool seed; any odd constant
+#: large enough to keep per-session RNG streams disjoint works.
+_SESSION_SEED_STRIDE = 1000003
+
+
+class SharedNetworkPool:
+    """One bandwidth pool shared by every session of a fleet.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Total pool bandwidth in bit/s (``None`` = infinite: transfers are
+        instantaneous and the pool only injects latency/failures).
+    latency_s / fail_rate / seed:
+        Per-session link shape, as in
+        :class:`~repro.core.network.NetworkConfig`.  ``seed`` is the fleet
+        seed; each session derives its own disjoint RNG stream from it.
+    obs:
+        Shared :class:`~repro.obs.Observability` the per-session download
+        counters land in (labelled per session).
+    """
+
+    def __init__(self, bandwidth_bps: float | None = None,
+                 latency_s: float = 0.0, fail_rate: float = 0.0,
+                 seed: int = 0, obs: Observability | None = None):
+        # Validation is delegated to NetworkConfig (same error messages).
+        NetworkConfig(fail_rate=fail_rate, bandwidth_bps=bandwidth_bps,
+                      latency_s=latency_s, seed=seed)
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self.fail_rate = fail_rate
+        self.seed = seed
+        self.obs = obs
+        self._lock = threading.Lock()
+        #: Finalized transfer intervals ``(start, end)`` on the pool
+        #: timeline, used to compute overlap for new transfers.
+        self._intervals: list[tuple[float, float]] = []
+        self.peak_concurrency = 0
+        self.total_transfers = 0
+
+    @staticmethod
+    def session_seed(seed: int, session_id: int) -> int:
+        """The failure-RNG seed of one session (deterministic, disjoint)."""
+        return seed * _SESSION_SEED_STRIDE + session_id
+
+    def session(self, session_id: int,
+                arrival_s: float = 0.0) -> "PooledNetwork":
+        """A per-session network drawing from this pool."""
+        config = NetworkConfig(
+            fail_rate=self.fail_rate, bandwidth_bps=self.bandwidth_bps,
+            latency_s=self.latency_s,
+            seed=self.session_seed(self.seed, session_id))
+        return PooledNetwork(self, session_id, arrival_s, config,
+                             obs=self.obs)
+
+    # ------------------------------------------------------------- charging
+
+    def charge(self, start_s: float, n_bytes: int) -> float:
+        """Fair-share transfer seconds for ``n_bytes`` starting at
+        ``start_s`` on the pool timeline.
+
+        Drains the payload piecewise: between overlap boundaries of the
+        transfers already in flight, progress runs at
+        ``bandwidth / (1 + overlapping)``; the share is recomputed at each
+        boundary (join or leave).  The finalized interval is recorded so
+        later transfers see this one.
+        """
+        with self._lock:
+            self.total_transfers += 1
+            if self.bandwidth_bps is None or n_bytes <= 0:
+                end = start_s
+                self._intervals.append((start_s, end))
+                return 0.0
+            remaining_bits = 8.0 * n_bytes
+            # Time is tracked as an offset from start_s, not absolutely:
+            # with no overlap the duration is then computed as exactly
+            # ``8 * n_bytes / bandwidth`` with zero float drift, so a
+            # single-session pool is bit-identical to a dedicated link.
+            elapsed = 0.0
+            # Every instant an already-known transfer joins or leaves the
+            # pool after our start is a point where our share changes.
+            boundaries = sorted(
+                {p - start_s for (s, e) in self._intervals
+                 for p in (s, e) if p > start_s})
+            for boundary in boundaries + [None]:
+                t = start_s + elapsed
+                active = sum(1 for (s, e) in self._intervals if s <= t < e)
+                self.peak_concurrency = max(self.peak_concurrency, active + 1)
+                share = self.bandwidth_bps / (1 + active)
+                needed = remaining_bits / share
+                if boundary is None or elapsed + needed <= boundary:
+                    elapsed += needed
+                    break
+                remaining_bits -= share * (boundary - elapsed)
+                elapsed = boundary
+            self._intervals.append((start_s, start_s + elapsed))
+            return elapsed
+
+
+class PooledNetwork(SimulatedNetwork):
+    """One session's view of a :class:`SharedNetworkPool`.
+
+    Behaves exactly like a private :class:`SimulatedNetwork` (same retry /
+    failure / latency semantics, same per-session simulated clock) except
+    that transfer time comes from the pool's fair-share model.  The
+    session's position on the shared pool timeline is its arrival offset
+    plus its own simulated clock.
+    """
+
+    def __init__(self, pool: SharedNetworkPool, session_id: int,
+                 arrival_s: float, config: NetworkConfig,
+                 obs: Observability | None = None):
+        super().__init__(config=config, obs=obs, session=str(session_id))
+        self.pool = pool
+        self.session_id = session_id
+        self.arrival_s = float(arrival_s)
+
+    def pool_time(self) -> float:
+        """This session's current position on the pool timeline."""
+        return self.arrival_s + self.clock.now()
+
+    def _transfer_seconds(self, n_bytes: int) -> float:
+        # The request's latency has already elapsed by the time bytes
+        # start flowing, so the transfer joins the pool after it.
+        start = self.pool_time() + self.config.latency_s
+        return self.pool.charge(start, n_bytes)

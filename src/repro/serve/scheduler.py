@@ -1,0 +1,405 @@
+"""Multi-session serving simulator: the fleet around the dcSR client.
+
+The paper evaluates one client; the deployment question (ROADMAP north
+star) is what happens when thousands of viewers hit the same package.
+:class:`FleetSimulator` runs N concurrent :class:`~repro.core.client.
+DcsrClient` sessions against the shared serving substrate:
+
+- one :class:`~repro.serve.shared_cache.SharedModelCache` — a micro model
+  any session downloaded is a cache hit for every other session;
+- one :class:`~repro.serve.netpool.SharedNetworkPool` — sessions split a
+  single simulated uplink fairly instead of each getting a private link;
+- optionally one :class:`~repro.serve.batching.BatchingInferenceEngine` —
+  I-frame tiles from co-playing sessions ride one GEMM call.
+
+Time has two independent axes, kept deliberately separate:
+
+- **Simulated time** drives everything a result depends on: arrival
+  schedules, admission control, fair-share transfer seconds, stalls.  It
+  is derived only from seeded RNGs and the package, so a fleet run's
+  numbers are reproducible regardless of machine load.
+- **Wall time** is only an execution detail: admitted sessions run on a
+  thread pool whose width bounds real concurrency but never changes any
+  simulated quantity.
+
+Admission control is likewise pure simulated time.  Each session plays
+for ``n_frames / fps`` simulated seconds; with ``max_sessions = c`` the
+fleet behaves as a c-server queue over the arrival schedule — the
+``queue`` policy delays a session's start until a slot frees (M/D/c
+style), while ``reject`` turns it away when all ``c`` slots are busy at
+its arrival instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.client import DcsrClient, PlaybackResult
+from ..core.network import RetryPolicy
+from ..core.server import DcsrPackage
+from ..core.streaming import session_goodput_bps, stall_ratio
+from ..obs import Observability
+from .batching import BatchingInferenceEngine
+from .netpool import SharedNetworkPool
+from .shared_cache import SharedModelCache
+
+__all__ = [
+    "FleetConfig",
+    "SessionResult",
+    "FleetTelemetry",
+    "FleetResult",
+    "FleetSimulator",
+    "arrival_times",
+]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of one fleet run (``cli serve`` mirrors these knobs).
+
+    Parameters
+    ----------
+    sessions:
+        Number of viewer sessions to simulate.
+    arrival:
+        Arrival schedule: ``"all"`` (everyone at t=0), ``"poisson:<rate>"``
+        (seeded exponential inter-arrivals at ``rate`` sessions/s), or
+        ``"uniform:<gap>"`` (one session every ``gap`` seconds).
+    bandwidth_bps / latency_s / fail_rate / retries:
+        The shared uplink: one pool of ``bandwidth_bps`` split fairly
+        among active transfers; latency, failure injection, and the retry
+        budget apply per session exactly as on a dedicated link.
+    cache_capacity:
+        Bound on the shared model cache (``None`` = unbounded).
+    max_sessions / admission:
+        Admission control: at most ``max_sessions`` sessions play
+        concurrently (in simulated time); an arrival beyond that is
+        queued until a slot frees (``"queue"``) or turned away
+        (``"reject"``).  ``max_sessions=None`` admits everyone at their
+        arrival instant.
+    batching / max_batch / max_wait_s:
+        Cross-session SR batching (off by default: every session runs the
+        reference per-frame SR path, which keeps fleet frames bit-equal
+        to a solo client).
+    fallback:
+        Per-session model-fetch fallback (play unenhanced instead of
+        raising), as in :class:`~repro.core.client.DcsrClient`.
+    seed:
+        Fleet seed: drives the arrival schedule and derives each
+        session's private failure-RNG stream.
+    workers:
+        Wall-clock thread-pool width (execution only — simulated numbers
+        are identical for any value).  ``None`` sizes it to the admitted
+        session count.
+    """
+
+    sessions: int = 4
+    arrival: str = "all"
+    bandwidth_bps: float | None = None
+    latency_s: float = 0.0
+    fail_rate: float = 0.0
+    retries: int = 3
+    cache_capacity: int | None = None
+    max_sessions: int | None = None
+    admission: str = "queue"
+    batching: bool = False
+    max_batch: int = 8
+    max_wait_s: float = 0.002
+    fallback: bool = False
+    seed: int = 0
+    workers: int | None = None
+
+    def __post_init__(self):
+        if self.sessions < 1:
+            raise ValueError(f"sessions must be >= 1, got {self.sessions}")
+        if self.admission not in ("queue", "reject"):
+            raise ValueError(
+                f"admission must be 'queue' or 'reject', got {self.admission!r}")
+        if self.max_sessions is not None and self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1 (or None)")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None)")
+        arrival_times(self)     # validates the arrival spec eagerly
+
+
+def arrival_times(config: FleetConfig) -> list[float]:
+    """The seeded simulated arrival instant of every session.
+
+    Session 0 always arrives at t=0; ``poisson:<rate>`` draws exponential
+    inter-arrival gaps from ``random.Random(config.seed)`` (bit-identical
+    across runs), ``uniform:<gap>`` spaces arrivals evenly.
+    """
+    spec = config.arrival
+    n = config.sessions
+    if spec == "all":
+        return [0.0] * n
+    kind, _, value = spec.partition(":")
+    if kind == "poisson":
+        try:
+            rate = float(value)
+        except ValueError:
+            rate = -1.0
+        if rate <= 0:
+            raise ValueError(f"poisson arrival needs a positive rate, "
+                             f"got {spec!r}")
+        rng = random.Random(config.seed)
+        times, t = [], 0.0
+        for _ in range(n):
+            times.append(t)
+            t += rng.expovariate(rate)
+        return times
+    if kind == "uniform":
+        try:
+            gap = float(value)
+        except ValueError:
+            gap = -1.0
+        if gap < 0:
+            raise ValueError(f"uniform arrival needs a non-negative gap, "
+                             f"got {spec!r}")
+        return [i * gap for i in range(n)]
+    raise ValueError(f"unknown arrival spec {spec!r} "
+                     "(expected 'all', 'poisson:<rate>', or 'uniform:<gap>')")
+
+
+@dataclass
+class SessionResult:
+    """One session's outcome within a fleet run."""
+
+    session_id: int
+    arrival_s: float
+    start_s: float              # == arrival_s unless queued by admission
+    status: str                 # completed | rejected
+    result: PlaybackResult | None = None
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.start_s - self.arrival_s
+
+
+@dataclass
+class FleetTelemetry:
+    """Fleet-level aggregates over every completed session."""
+
+    sessions: int = 0
+    completed: int = 0
+    rejected: int = 0
+    queue_wait_s: float = 0.0           # summed across queued sessions
+    aggregate_goodput_bps: float = 0.0  # delivered bits / summed download s
+    mean_session_goodput_bps: float = 0.0
+    cache_hit_rate: float = 0.0         # fleet-wide, cross-session
+    cache_downloads: int = 0
+    cache_evictions: int = 0
+    total_model_bytes: int = 0
+    total_video_bytes: int = 0
+    #: (stall_seconds, cumulative fraction) quantiles across sessions.
+    stall_cdf: list[tuple[float, float]] = field(default_factory=list)
+    mean_stall_ratio: float = 0.0
+    n_batches: int = 0
+    mean_batch_size: float = 0.0
+    peak_network_concurrency: int = 0
+
+    def summary_lines(self) -> list[str]:
+        """Printable fleet summary (CLI ``serve``), via the shared
+        :func:`~repro.bench.runner.format_table` renderer."""
+        from ..bench.runner import format_table
+
+        rows = [
+            ["sessions", f"{self.completed}/{self.sessions} completed"
+             + (f", {self.rejected} rejected" if self.rejected else "")],
+            ["goodput", f"{self.aggregate_goodput_bps / 1e6:.2f} Mbit/s "
+             f"aggregate, {self.mean_session_goodput_bps / 1e6:.2f} mean"],
+            ["cache", f"{self.cache_hit_rate:.0%} hit rate, "
+             f"{self.cache_downloads} downloads, "
+             f"{self.total_model_bytes} model bytes"],
+            ["network", f"peak {self.peak_network_concurrency} concurrent "
+             f"transfers, {self.total_video_bytes} video bytes"],
+            ["stalls", f"{self.mean_stall_ratio:.1%} mean stall ratio"],
+        ]
+        if self.queue_wait_s:
+            rows.append(["admission",
+                         f"{self.queue_wait_s:.2f}s total queue wait"])
+        if self.n_batches:
+            rows.append(["batching", f"{self.n_batches} batches, "
+                         f"{self.mean_batch_size:.2f} frames/batch"])
+        lines = [f"fleet of {self.sessions} sessions:"]
+        lines += ["  " + line
+                  for line in format_table("", ["metric", "value"],
+                                           rows).splitlines()]
+        return lines
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one :meth:`FleetSimulator.run`."""
+
+    config: FleetConfig
+    sessions: list[SessionResult] = field(default_factory=list)
+    telemetry: FleetTelemetry = field(default_factory=FleetTelemetry)
+    obs: Observability = field(default_factory=Observability,
+                               repr=False, compare=False)
+
+    def completed(self) -> list[SessionResult]:
+        return [s for s in self.sessions if s.status == "completed"]
+
+
+class FleetSimulator:
+    """Run one package through a fleet of concurrent streaming sessions.
+
+    All sessions share this simulator's :class:`SharedModelCache`,
+    :class:`SharedNetworkPool`, optional
+    :class:`BatchingInferenceEngine`, and :class:`~repro.obs.Observability`
+    session (per-session subtrees are tagged ``session=<id>`` on their
+    ``play`` spans and network counters).
+    """
+
+    def __init__(self, package: DcsrPackage, config: FleetConfig,
+                 obs: Observability | None = None):
+        self.package = package
+        self.config = config
+        self.obs = obs or Observability(root_name="fleet")
+        self.cache: SharedModelCache = SharedModelCache(
+            capacity=config.cache_capacity)
+        self.pool = SharedNetworkPool(
+            bandwidth_bps=config.bandwidth_bps, latency_s=config.latency_s,
+            fail_rate=config.fail_rate, seed=config.seed, obs=self.obs)
+        self.batcher = (BatchingInferenceEngine(
+            max_batch=config.max_batch, max_wait_s=config.max_wait_s,
+            obs=self.obs) if config.batching else None)
+
+    # -------------------------------------------------------------- admission
+
+    def session_duration_s(self) -> float:
+        """Simulated seconds one session occupies an admission slot."""
+        encoded = self.package.encoded
+        n_frames = sum(seg.n_frames for seg in encoded.segments)
+        return n_frames / encoded.fps
+
+    def admit(self, arrivals: list[float]) -> list[SessionResult]:
+        """Admission control over the arrival schedule (pure sim time).
+
+        Returns one :class:`SessionResult` shell per session, in session
+        order: rejected sessions are final, admitted ones carry their
+        effective ``start_s`` and are run by :meth:`run`.
+        """
+        c = self.config.max_sessions
+        duration = self.session_duration_s()
+        out = []
+        if c is None:
+            return [SessionResult(i, a, a, "completed")
+                    for i, a in enumerate(arrivals)]
+        # c servers, each holding the sim time it next comes free.
+        servers = [0.0] * c
+        heapq.heapify(servers)
+        for i, a in enumerate(arrivals):
+            free = servers[0]
+            if self.config.admission == "reject" and free > a:
+                out.append(SessionResult(i, a, a, "rejected"))
+                continue
+            start = max(a, heapq.heappop(servers))
+            heapq.heappush(servers, start + duration)
+            out.append(SessionResult(i, a, start, "completed"))
+        return out
+
+    # -------------------------------------------------------------- execution
+
+    def run(self, reference: np.ndarray | None = None) -> FleetResult:
+        """Play every admitted session; return fleet-wide results.
+
+        ``reference`` (the pristine frames) enables per-frame quality
+        scoring in each session, exactly as in
+        :meth:`~repro.core.client.DcsrClient.play`.
+        """
+        config = self.config
+        shells = self.admit(arrival_times(config))
+        admitted = [s for s in shells if s.status == "completed"]
+        for shell in shells:
+            if shell.status == "rejected":
+                self.obs.metrics.counter(
+                    "dcsr_fleet_rejected_total",
+                    "Sessions turned away by admission control").inc()
+
+        workers = config.workers or max(1, len(admitted))
+        if admitted:
+            with ThreadPoolExecutor(max_workers=workers,
+                                    thread_name_prefix="dcsr-fleet") as pool:
+                futures = [pool.submit(self._run_session, shell, reference)
+                           for shell in admitted]
+                for shell, future in zip(admitted, futures):
+                    shell.result = future.result()
+
+        result = FleetResult(config=config, sessions=shells, obs=self.obs)
+        self._finalize(result)
+        return result
+
+    def _run_session(self, shell: SessionResult,
+                     reference) -> PlaybackResult:
+        network = self.pool.session(shell.session_id,
+                                    arrival_s=shell.start_s)
+        client = DcsrClient(
+            self.package,
+            network=network,
+            retry=RetryPolicy(retries=self.config.retries),
+            fallback=self.config.fallback,
+            obs=self.obs,
+            model_cache=self.cache,
+            engine_provider=(self.batcher.engine_for
+                             if self.batcher is not None else None),
+            span_attrs={"session": shell.session_id},
+        )
+        return client.play(reference)
+
+    def _finalize(self, fleet: FleetResult) -> None:
+        t = fleet.telemetry
+        config = fleet.config
+        completed = fleet.completed()
+        t.sessions = config.sessions
+        t.completed = len(completed)
+        t.rejected = sum(1 for s in fleet.sessions if s.status == "rejected")
+        t.queue_wait_s = sum(s.queue_wait_s for s in completed)
+        t.cache_hit_rate = self.cache.stats.hit_rate
+        t.cache_downloads = self.cache.stats.downloads
+        t.cache_evictions = self.cache.stats.evictions
+        t.peak_network_concurrency = self.pool.peak_concurrency
+        if self.batcher is not None:
+            t.n_batches = self.batcher.stats.n_batches
+            t.mean_batch_size = self.batcher.stats.mean_batch_size
+
+        goodputs, stall_ratios, stalls = [], [], []
+        download_s = 0.0
+        for shell in completed:
+            result = shell.result
+            t.total_model_bytes += result.model_bytes
+            t.total_video_bytes += result.video_bytes
+            goodputs.append(session_goodput_bps(result))
+            stall_ratios.append(stall_ratio(result.telemetry))
+            stalls.append(result.telemetry.stall_seconds)
+            download_s += result.telemetry.stage_seconds.get("download", 0.0)
+        if goodputs:
+            t.mean_session_goodput_bps = float(np.mean(goodputs))
+            t.mean_stall_ratio = float(np.mean(stall_ratios))
+        if download_s > 0:
+            t.aggregate_goodput_bps = (
+                8.0 * (t.total_model_bytes + t.total_video_bytes)
+                / download_s)
+        from ..bench.runner import cdf_points
+        t.stall_cdf = cdf_points(stalls)
+
+        metrics = self.obs.metrics
+        metrics.gauge("dcsr_fleet_sessions",
+                      "Sessions in the most recent fleet run"
+                      ).set(t.sessions)
+        metrics.gauge("dcsr_fleet_cache_hit_rate",
+                      "Cross-session model cache hit rate"
+                      ).set(t.cache_hit_rate)
+        metrics.gauge("dcsr_fleet_goodput_bps",
+                      "Aggregate delivered bits per download second"
+                      ).set(t.aggregate_goodput_bps)
+        for seconds in stalls:
+            metrics.histogram("dcsr_fleet_stall_seconds",
+                              "Per-session simulated stall seconds"
+                              ).observe(seconds)

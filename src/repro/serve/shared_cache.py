@@ -1,0 +1,240 @@
+"""Fleet-scale model cache: Algorithm 1 shared across sessions.
+
+The paper's bandwidth numbers (§5, Fig. 10) assume each client caches its
+own micro models; at fleet scale the same per-cluster models are requested
+by *every* session playing the video, so one shared cache amortizes each
+download across the fleet.  :class:`SharedModelCache` promotes the
+single-owner :class:`~repro.core.cache.ModelCache` to that role:
+
+- **Locked**: store and counter mutations happen under one lock, so the
+  hit/miss/failure accounting is exact under arbitrary thread interleaving
+  (``hits + downloads + failed_fetches == requests``, always).
+- **Single-flight fetches**: concurrent misses on one label elect a single
+  fetcher; the others wait on an event and then count a *hit* — they paid
+  no bytes.  A failed fetch wakes the waiters, each of which retries (and
+  may become the next fetcher), so one session's network failure is never
+  charged to another.
+- **Refcount pinning**: ``acquire`` pins the entry until ``release``.  LRU
+  eviction only ever considers unpinned entries, so a model is never
+  evicted while a session is mid-SR with it; when every entry is pinned
+  the cache temporarily overflows its capacity rather than corrupt an
+  in-use entry.
+
+Each playing session holds a :class:`CacheSession` view: same
+``acquire``/``release``/``stats`` protocol as :class:`ModelCache`, with a
+per-session :class:`~repro.core.cache.CacheStats` (this session's hits,
+downloads, downloaded labels) next to the fleet-wide aggregate.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Generic, TypeVar
+
+from ..core.cache import CacheStats
+
+__all__ = ["SharedModelCache", "CacheSession"]
+
+M = TypeVar("M")
+
+
+@dataclass
+class _Entry(Generic[M]):
+    model: M
+    refcount: int = 0
+
+
+class SharedModelCache(Generic[M]):
+    """Thread-safe, LRU-evicting, refcount-pinning model cache.
+
+    Parameters
+    ----------
+    fetch:
+        Optional default ``label -> model`` used when a caller passes no
+        per-call fetch.  Fleet sessions normally pass their own fetch (so
+        the downloading session is the one charged simulated network time
+        and bytes) via :meth:`session`.
+    capacity:
+        Maximum cached models; ``None`` is unbounded.  The bound applies
+        to *unpinned* entries — pinned entries may push the cache over
+        capacity until they are released.
+    """
+
+    def __init__(self, fetch: Callable[[int], M] | None = None,
+                 capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self._fetch = fetch
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._store: "OrderedDict[int, _Entry[M]]" = OrderedDict()
+        self._inflight: dict[int, threading.Event] = {}
+        self.stats = CacheStats()
+        #: Peak number of resident entries (pinned overflow shows up here).
+        self.peak_entries = 0
+
+    # ------------------------------------------------------------- protocol
+
+    def session(self, fetch: Callable[[int], M]) -> "CacheSession[M]":
+        """A per-session view bound to that session's fetch function."""
+        return CacheSession(self, fetch)
+
+    def acquire(self, label: int, fetch: Callable[[int], M] | None = None,
+                stats: CacheStats | None = None) -> M:
+        """Algorithm 1 against the shared store, pinning the entry.
+
+        Exactly one of hit / download / failed fetch is counted per call,
+        into both the aggregate :attr:`stats` and the caller's per-session
+        ``stats``.  The returned model stays pinned (refcount held) until
+        the caller's matching :meth:`release`.
+        """
+        return self._get(label, fetch, stats, pin=True)
+
+    def release(self, label: int) -> None:
+        """Drop one pin; a fully released entry is evictable again."""
+        with self._lock:
+            entry = self._store.get(label)
+            if entry is None or entry.refcount <= 0:
+                raise ValueError(f"release of unpinned cache entry {label}")
+            entry.refcount -= 1
+            self._evict_over_capacity()
+
+    def get(self, label: int, fetch: Callable[[int], M] | None = None,
+            stats: CacheStats | None = None) -> M:
+        """Unpinned read: :meth:`acquire` immediately followed by release."""
+        model = self._get(label, fetch, stats, pin=True)
+        self.release(label)
+        return model
+
+    def refcount(self, label: int) -> int:
+        with self._lock:
+            entry = self._store.get(label)
+            return entry.refcount if entry is not None else 0
+
+    def __contains__(self, label: int) -> bool:
+        with self._lock:
+            return label in self._store
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def clear(self) -> None:
+        """Drop every *unpinned* entry (pinned entries stay resident)."""
+        with self._lock:
+            for label in [lb for lb, e in self._store.items()
+                          if e.refcount == 0]:
+                del self._store[label]
+
+    # ------------------------------------------------------------ internals
+
+    def _get(self, label: int, fetch: Callable[[int], M] | None,
+             stats: CacheStats | None, pin: bool) -> M:
+        fetch = fetch or self._fetch
+        if fetch is None:
+            raise ValueError("no fetch function (constructor or per-call)")
+        while True:
+            leader = False
+            with self._lock:
+                entry = self._store.get(label)
+                if entry is not None:
+                    if pin:
+                        entry.refcount += 1
+                    self._store.move_to_end(label)
+                    self._note_hit(stats)
+                    return entry.model
+                event = self._inflight.get(label)
+                if event is None:
+                    # This caller is the single fetcher for the label.
+                    event = self._inflight[label] = threading.Event()
+                    leader = True
+            if not leader:
+                # Another caller is fetching: wait, then re-check the store
+                # (a hit if the fetch landed, a fresh election if it failed).
+                event.wait()
+                continue
+            return self._fetch_as_leader(label, fetch, stats, pin, event)
+
+    def _fetch_as_leader(self, label: int, fetch, stats, pin: bool,
+                         event: threading.Event) -> M:
+        try:
+            model = fetch(label)
+        except Exception:
+            with self._lock:
+                self.stats.failed_fetches += 1
+                if stats is not None:
+                    stats.failed_fetches += 1
+                self._inflight.pop(label, None)
+            event.set()
+            raise
+        with self._lock:
+            entry = self._store.get(label)
+            if entry is None:
+                entry = self._store[label] = _Entry(model)
+            if pin:
+                entry.refcount += 1
+            self._store.move_to_end(label)
+            self.stats.downloads += 1
+            self.stats.downloaded_labels.append(label)
+            if stats is not None:
+                stats.downloads += 1
+                stats.downloaded_labels.append(label)
+            self._inflight.pop(label, None)
+            self._evict_over_capacity()
+        event.set()
+        return entry.model
+
+    def _note_hit(self, stats: CacheStats | None) -> None:
+        self.stats.hits += 1
+        if stats is not None:
+            stats.hits += 1
+
+    def _evict_over_capacity(self) -> None:
+        """LRU-evict unpinned entries down to capacity (lock held).
+
+        Pinned entries are skipped, never evicted: if everything resident
+        is pinned the store stays over capacity until a release.
+        """
+        self.peak_entries = max(self.peak_entries, len(self._store))
+        if self._capacity is None:
+            return
+        while len(self._store) > self._capacity:
+            victim = next((lb for lb, e in self._store.items()
+                           if e.refcount == 0), None)
+            if victim is None:
+                return
+            del self._store[victim]
+            self.stats.evictions += 1
+
+
+class CacheSession(Generic[M]):
+    """One session's view of a :class:`SharedModelCache`.
+
+    Duck-typed to the single-owner :class:`~repro.core.cache.ModelCache`
+    protocol the streaming client speaks (``acquire``/``release``/``get``/
+    ``stats``), with per-session accounting: this session's ``stats``
+    count its own hits and the downloads *it* performed — a model another
+    session fetched is a hit here, which is exactly the cross-session
+    amortization the fleet benchmark measures.
+    """
+
+    def __init__(self, shared: SharedModelCache[M],
+                 fetch: Callable[[int], M]):
+        self.shared = shared
+        self._fetch = fetch
+        self.stats = CacheStats()
+
+    def acquire(self, label: int) -> M:
+        return self.shared.acquire(label, fetch=self._fetch,
+                                   stats=self.stats)
+
+    def release(self, label: int) -> None:
+        self.shared.release(label)
+
+    def get(self, label: int) -> M:
+        return self.shared.get(label, fetch=self._fetch, stats=self.stats)
+
+    def __contains__(self, label: int) -> bool:
+        return label in self.shared

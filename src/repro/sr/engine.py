@@ -78,6 +78,17 @@ class EngineStats:
     frames: int = 0
     flops: float = 0.0
 
+    def per_frame(self) -> "EngineStats":
+        """One frame's share of a batched call's counters.
+
+        Cross-session batching (:class:`repro.serve.BatchingInferenceEngine`)
+        runs N sessions' frames through one call and attributes the stats
+        back per session: FLOPs split evenly, while the tile count stays
+        whole — every frame passes through the full tile grid.
+        """
+        return EngineStats(tile_count=self.tile_count, frames=1,
+                           flops=self.flops / max(1, self.frames))
+
 
 class InferenceEngine:
     """Zero-retention NHWC executor for one :class:`EDSR` model.

@@ -1,0 +1,164 @@
+"""Property-style codec round-trip sweeps (seeded, hand-rolled).
+
+A seeded random sweep over the encoder's whole configuration surface —
+GOP shape (``n_b_frames``, ``extra_i_interval``), quantisation (CRF/QP),
+resolution (including odd multiples of the macroblock size), and frame
+count — checks the invariants every ``decode(encode(x))`` round trip must
+hold, regardless of settings:
+
+- frame count, display order, frame shapes, and dtype survive the trip;
+- reconstruction quality (PSNR vs the original) is monotone
+  non-increasing in QP;
+- a decoder carries no hidden state across segments: decoding segment k
+  after segments 0..k-1 is bit-identical to decoding it with a fresh
+  decoder.
+
+The sweeps are explicit seeded loops (not hypothesis strategies) so a
+failure names its exact configuration and replays by seed.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.video import detect_segments, fixed_length_segments, make_video, psnr
+from repro.video.codec import CodecConfig, Decoder, Encoder
+from repro.video.codec.motion import MB
+from repro.video import yuv420_to_rgb
+
+
+def _clip(size, n_frames, fps=10.0, seed=1, genre="sports"):
+    return make_video("prop", genre, seed=seed, size=size,
+                      duration_seconds=n_frames / fps, fps=fps)
+
+
+def _roundtrip(clip, config):
+    segments = detect_segments(clip.frames)
+    encoded = Encoder(config).encode(clip.frames, segments, fps=clip.fps)
+    return encoded, Decoder().decode_video(encoded)
+
+
+def _mean_psnr(clip, decoded):
+    values = [psnr(yuv420_to_rgb(frame), ref)
+              for frame, ref in zip(decoded.frames, clip.frames)]
+    return float(np.mean(values))
+
+
+class TestRoundTripSweep:
+    def test_seeded_configuration_sweep_preserves_shape_invariants(self):
+        rng = random.Random(2024)
+        # Odd multiples of MB=16 exercise the chroma (H/2, W/2) planes at
+        # odd sizes, where a half-resolution rounding bug would bite.
+        sizes = [(32, 32), (48, 64), (48, 80), (80, 48), (16, 96)]
+        for case in range(8):
+            size = sizes[rng.randrange(len(sizes))]
+            n_frames = rng.randrange(6, 20)
+            config = CodecConfig(
+                crf=rng.randrange(10, 52),
+                n_b_frames=rng.randrange(0, 4),
+                search_range=rng.randrange(2, 9),
+                extra_i_interval=rng.choice([None, 3, 5]),
+                deblock=rng.random() < 0.5,
+                half_pel=rng.random() < 0.5,
+            )
+            clip = _clip(size, n_frames, seed=300 + case)
+            encoded, decoded = _roundtrip(clip, config)
+            context = f"case {case}: {size=} {n_frames=} {config}"
+
+            assert decoded.n_frames == clip.n_frames, context
+            assert decoded.frame_types[0] == "I", context
+            h, w = size
+            for frame in decoded.frames:
+                assert frame.y.shape == (h, w), context
+                assert frame.u.shape == (h // 2, w // 2), context
+                assert frame.v.shape == (h // 2, w // 2), context
+                assert frame.y.dtype == decoded.frames[0].y.dtype, context
+            # Every decoded frame converts to a finite RGB image in range.
+            rgb = yuv420_to_rgb(decoded.frames[-1])
+            assert rgb.shape == (h, w, 3), context
+            assert np.isfinite(rgb).all(), context
+
+    def test_frame_counts_survive_any_segmentation(self):
+        rng = random.Random(7)
+        clip = _clip((32, 48), 18, seed=9)
+        for length in (3, 5, 18):
+            segments = fixed_length_segments(clip.n_frames, length)
+            config = CodecConfig(crf=rng.randrange(20, 50))
+            encoded = Encoder(config).encode(clip.frames, segments,
+                                             fps=clip.fps)
+            decoded = Decoder().decode_video(encoded)
+            assert decoded.n_frames == clip.n_frames
+            assert sum(seg.n_frames for seg in encoded.segments) \
+                == clip.n_frames
+
+    @pytest.mark.parametrize("size", [(30, 48), (48, 50), (17, 33)])
+    def test_unaligned_dimensions_fail_loudly(self, size):
+        clip = _clip((64, 64), 6, seed=2)
+        frames = clip.frames[:, :size[0], :size[1], :]
+        segments = fixed_length_segments(frames.shape[0], 6)
+        with pytest.raises(ValueError, match=f"multiples of {MB}"):
+            Encoder(CodecConfig()).encode(frames, segments, fps=10.0)
+
+
+class TestRateDistortionMonotonicity:
+    def test_psnr_non_increasing_in_qp(self):
+        clip = _clip((48, 64), 10, seed=11)
+        psnrs, sizes = [], []
+        for crf in (12, 24, 36, 48):
+            encoded, decoded = _roundtrip(clip, CodecConfig(crf=crf))
+            psnrs.append(_mean_psnr(clip, decoded))
+            sizes.append(encoded.total_bytes)
+        for better, worse in zip(psnrs, psnrs[1:]):
+            assert worse <= better, psnrs
+        # And the bitrate moves the other way.
+        for bigger, smaller in zip(sizes, sizes[1:]):
+            assert smaller <= bigger, sizes
+
+    def test_monotone_across_gop_shapes(self):
+        rng = random.Random(31)
+        for _ in range(3):
+            n_b = rng.randrange(0, 3)
+            clip = _clip((32, 48), 8, seed=rng.randrange(1000))
+            low = _mean_psnr(clip, _roundtrip(
+                clip, CodecConfig(crf=16, n_b_frames=n_b))[1])
+            high = _mean_psnr(clip, _roundtrip(
+                clip, CodecConfig(crf=46, n_b_frames=n_b))[1])
+            assert high <= low
+
+
+class TestDecoderStateReset:
+    def test_segment_decode_is_independent_of_history(self):
+        clip = _clip((32, 48), 15, seed=5)
+        segments = fixed_length_segments(clip.n_frames, 5)
+        encoded = Encoder(CodecConfig(crf=30)).encode(
+            clip.frames, segments, fps=clip.fps)
+
+        stateful = Decoder()
+        replayed = []
+        for seg in encoded.segments:
+            replayed.append(stateful.decode_segment(
+                seg, encoded.width, encoded.height))
+
+        for i, seg in enumerate(encoded.segments):
+            fresh = Decoder().decode_segment(seg, encoded.width,
+                                             encoded.height)
+            assert len(fresh) == len(replayed[i])
+            for a, b in zip(fresh, replayed[i]):
+                assert a.display == b.display and a.ftype == b.ftype
+                assert np.array_equal(a.frame.y, b.frame.y)
+                assert np.array_equal(a.frame.u, b.frame.u)
+                assert np.array_equal(a.frame.v, b.frame.v)
+
+    def test_same_decoder_twice_is_deterministic(self):
+        clip = _clip((32, 48), 8, seed=6)
+        segments = fixed_length_segments(clip.n_frames, 8)
+        encoded = Encoder(CodecConfig(crf=35)).encode(
+            clip.frames, segments, fps=clip.fps)
+        decoder = Decoder()
+        first = decoder.decode_video(encoded)
+        second = decoder.decode_video(encoded)
+        for a, b in zip(first.frames, second.frames):
+            assert np.array_equal(a.y, b.y)
+            assert np.array_equal(a.u, b.u)
+            assert np.array_equal(a.v, b.v)

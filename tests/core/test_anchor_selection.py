@@ -72,6 +72,7 @@ class TestAnchorHook:
         assert hooked.frames[0] == decoded.frames[0]
 
 
+@pytest.mark.tier2
 class TestSelection:
     def test_empty_budget_selects_nothing(self, package, small_clip,
                                           big_for_anchors):
@@ -128,6 +129,7 @@ class TestSelection:
                            small_clip.frames, budget_per_segment=-1)
 
 
+@pytest.mark.tier2
 class TestAdaptivePlayback:
     def test_adaptive_at_least_matches_i_frame_nemo(self, package, small_clip,
                                                     big_for_anchors):

@@ -72,6 +72,7 @@ class TestCodecPropertyRoundTrip:
 
 
 class TestPipelineDeterminism:
+    @pytest.mark.tier2
     def test_build_package_fully_deterministic(self, small_clip, small_config):
         from repro.core import build_package
         a = build_package(small_clip, small_config)

@@ -1,0 +1,243 @@
+"""Fleet simulator: admission control, arrival schedules, and end-to-end
+multi-session runs over the shared test package.
+
+The integration tests assert the serving-layer value propositions
+directly: cross-session cache amortization (fleet hit rate beats a solo
+session, aggregate model bytes stay below N× solo), per-session span
+attribution in the shared trace, and bit-identical frames when SR batches
+across sessions.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.client import DcsrClient, FastPathConfig
+from repro.serve import (
+    BatchingInferenceEngine,
+    FleetConfig,
+    FleetSimulator,
+    arrival_times,
+)
+
+
+def _stub_package(n_frames=80, fps=10.0, n_segments=4):
+    """Just enough package for sim-time admission math (no media)."""
+    per = n_frames // n_segments
+    segments = [SimpleNamespace(n_frames=per) for _ in range(n_segments)]
+    return SimpleNamespace(encoded=SimpleNamespace(segments=segments,
+                                                   fps=fps))
+
+
+class TestArrivalSchedules:
+    def test_all_arrive_at_zero(self):
+        assert arrival_times(FleetConfig(sessions=3)) == [0.0, 0.0, 0.0]
+
+    def test_uniform_spacing(self):
+        config = FleetConfig(sessions=3, arrival="uniform:2.5")
+        assert arrival_times(config) == [0.0, 2.5, 5.0]
+
+    def test_poisson_starts_at_zero_and_increases(self):
+        config = FleetConfig(sessions=8, arrival="poisson:3.0", seed=1)
+        times = arrival_times(config)
+        assert times[0] == 0.0
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    @pytest.mark.parametrize("spec", [
+        "poisson", "poisson:0", "poisson:-1", "poisson:x",
+        "uniform:-1", "uniform:y", "burst:3",
+    ])
+    def test_bad_specs_are_rejected_eagerly(self, spec):
+        with pytest.raises(ValueError):
+            FleetConfig(sessions=2, arrival=spec)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="sessions"):
+            FleetConfig(sessions=0)
+        with pytest.raises(ValueError, match="admission"):
+            FleetConfig(admission="drop")
+        with pytest.raises(ValueError, match="max_sessions"):
+            FleetConfig(max_sessions=0)
+
+
+class TestAdmissionControl:
+    def test_unlimited_admits_everyone_at_arrival(self):
+        sim = FleetSimulator(_stub_package(), FleetConfig(sessions=3))
+        shells = sim.admit([0.0, 1.0, 2.0])
+        assert [s.status for s in shells] == ["completed"] * 3
+        assert [s.start_s for s in shells] == [0.0, 1.0, 2.0]
+
+    def test_queue_policy_delays_past_capacity(self):
+        # Each session occupies a slot for 80 frames / 10 fps = 8 s.
+        sim = FleetSimulator(
+            _stub_package(),
+            FleetConfig(sessions=4, max_sessions=2, admission="queue"))
+        shells = sim.admit([0.0, 0.0, 0.0, 0.0])
+        assert [s.status for s in shells] == ["completed"] * 4
+        assert sorted(s.start_s for s in shells) == [0.0, 0.0, 8.0, 8.0]
+        assert sum(s.queue_wait_s for s in shells) == 16.0
+
+    def test_queue_policy_uses_freed_slots(self):
+        sim = FleetSimulator(
+            _stub_package(),
+            FleetConfig(sessions=3, max_sessions=1, admission="queue"))
+        shells = sim.admit([0.0, 1.0, 20.0])
+        # Session 1 waits for session 0's slot (free at t=8); session 2
+        # arrives after everything drained and starts immediately.
+        assert [s.start_s for s in shells] == [0.0, 8.0, 20.0]
+
+    def test_reject_policy_turns_arrivals_away(self):
+        sim = FleetSimulator(
+            _stub_package(),
+            FleetConfig(sessions=4, max_sessions=2, admission="reject"))
+        shells = sim.admit([0.0, 0.0, 1.0, 9.0])
+        assert [s.status for s in shells] == [
+            "completed", "completed", "rejected", "completed"]
+        # The t=9 arrival lands after the first two sessions ended (t=8).
+        assert shells[3].start_s == 9.0
+
+
+class TestFleetIntegration:
+    def test_fleet_amortizes_model_downloads(self, package):
+        solo = DcsrClient(package).play()
+        fleet = FleetSimulator(
+            package, FleetConfig(sessions=4)).run()
+        t = fleet.telemetry
+        assert t.completed == 4
+        assert t.cache_hit_rate > solo.cache_stats.hit_rate
+        assert t.total_model_bytes < 4 * solo.model_bytes
+        # Every label is fetched exactly once fleet-wide (single-flight,
+        # unbounded cache), so model bytes equal one session's uniques.
+        assert t.total_model_bytes == solo.model_bytes
+        assert t.total_video_bytes == 4 * solo.video_bytes
+        # Frames are unaffected by sharing the cache.
+        for shell in fleet.completed():
+            assert len(shell.result.frames) == len(solo.frames)
+            for ours, theirs in zip(shell.result.frames, solo.frames):
+                assert np.array_equal(ours, theirs)
+
+    def test_play_spans_are_tagged_per_session(self, package):
+        fleet = FleetSimulator(package, FleetConfig(sessions=2)).run()
+        plays = fleet.obs.tracer.root.find("play")
+        assert sorted(span.attrs["session"] for span in plays) == [0, 1]
+
+    def test_rejected_sessions_produce_no_playback(self, package):
+        fleet = FleetSimulator(
+            package,
+            FleetConfig(sessions=3, max_sessions=1,
+                        admission="reject")).run()
+        statuses = [s.status for s in fleet.sessions]
+        assert statuses == ["completed", "rejected", "rejected"]
+        assert fleet.telemetry.rejected == 2
+        assert all(s.result is None for s in fleet.sessions
+                   if s.status == "rejected")
+        assert fleet.obs.metrics.counter(
+            "dcsr_fleet_rejected_total").value() == 2
+
+    @pytest.mark.tier2
+    def test_batched_sr_is_bitwise_equal_to_per_session_engine(self, package):
+        engine_solo = DcsrClient(
+            package, fast_path=FastPathConfig(calibrate=False)).play()
+        fleet = FleetSimulator(
+            package,
+            FleetConfig(sessions=3, batching=True, max_batch=4,
+                        max_wait_s=0.01)).run()
+        assert fleet.telemetry.n_batches > 0
+        for shell in fleet.completed():
+            for ours, theirs in zip(shell.result.frames, engine_solo.frames):
+                assert np.array_equal(ours, theirs)
+        # Per-session SR accounting still adds up: every session performed
+        # its own share of inferences even when frames rode shared batches.
+        for shell in fleet.completed():
+            assert shell.result.sr_inferences == engine_solo.sr_inferences
+
+    @pytest.mark.tier2
+    def test_fleet_under_contention_still_completes(self, package):
+        fleet = FleetSimulator(
+            package,
+            FleetConfig(sessions=6, arrival="poisson:2.0",
+                        bandwidth_bps=1e6, latency_s=0.02, fail_rate=0.2,
+                        retries=3, fallback=True, cache_capacity=1,
+                        max_sessions=4, admission="queue", seed=3)).run()
+        t = fleet.telemetry
+        assert t.completed + t.rejected == 6
+        assert t.completed >= 4
+        for shell in fleet.completed():
+            assert len(shell.result.frames) == sum(
+                seg.n_frames for seg in package.encoded.segments)
+        # The bounded shared cache stayed within its limit.
+        assert len(fleet.obs.metrics.metrics()) > 0
+        assert t.stall_cdf[-1][1] == 1.0
+
+
+class TestBatchingEngine:
+    def test_direct_submit_matches_single_frame_engine(self):
+        from repro.sr import EDSR, EdsrConfig
+        from repro.sr.engine import InferenceEngine
+
+        model = EDSR(EdsrConfig(n_resblocks=1, n_filters=4), seed=5)
+        batcher = BatchingInferenceEngine(max_batch=4, max_wait_s=0.0)
+        rng = np.random.default_rng(0)
+        frame = rng.random((16, 20, 3), dtype=np.float32)
+        out = batcher.engine_for(model).enhance(frame)
+        ref = InferenceEngine(model).enhance(frame)
+        assert np.array_equal(out, ref)
+        assert batcher.stats.n_batches == 1
+        assert batcher.stats.n_frames == 1
+
+    def test_concurrent_submissions_share_batches(self):
+        import threading
+
+        from repro.sr import EDSR, EdsrConfig
+
+        model = EDSR(EdsrConfig(n_resblocks=1, n_filters=4), seed=5)
+        batcher = BatchingInferenceEngine(max_batch=8, max_wait_s=0.2)
+        rng = np.random.default_rng(1)
+        frames = [rng.random((16, 20, 3), dtype=np.float32)
+                  for _ in range(8)]
+        outs = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def worker(i):
+            barrier.wait()
+            outs[i] = batcher.engine_for(model).enhance(frames[i])
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        from repro.sr.engine import InferenceEngine
+        engine = InferenceEngine(model)
+        for i in range(8):
+            assert np.array_equal(outs[i], engine.enhance(frames[i]))
+        assert batcher.stats.n_frames == 8
+        # Co-arriving frames were actually merged (fewer batches than
+        # frames) — with an 0.2 s door this is reliable, not timing luck.
+        assert batcher.stats.n_batches < 8
+        assert batcher.stats.max_batch_seen >= 2
+
+    def test_stats_report_per_frame_share(self):
+        from repro.sr import EDSR, EdsrConfig
+
+        model = EDSR(EdsrConfig(n_resblocks=1, n_filters=4), seed=5)
+        batcher = BatchingInferenceEngine(max_batch=2, max_wait_s=0.0)
+        adapter = batcher.engine_for(model)
+        frame = np.zeros((16, 20, 3), dtype=np.float32)
+        adapter.enhance(frame)
+        assert adapter.stats.frames == 1
+        assert adapter.stats.flops > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchingInferenceEngine(max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_s"):
+            BatchingInferenceEngine(max_wait_s=-1)
+        from repro.sr import EDSR, EdsrConfig
+        model = EDSR(EdsrConfig(n_resblocks=1, n_filters=4), seed=5)
+        batcher = BatchingInferenceEngine()
+        with pytest.raises(ValueError, match="RGB frame"):
+            batcher.submit(model, np.zeros((16, 20), dtype=np.float32))

@@ -90,6 +90,7 @@ class TestTraining:
         assert history.losses[-1] < history.losses[0]
         assert after["psnr"] > before
 
+    @pytest.mark.tier2
     def test_beats_identity_baseline(self):
         """Trained SR must beat just displaying the degraded input."""
         from repro.video.quality import psnr
