@@ -12,6 +12,14 @@ Two operational claims on top of the paper's ~3x-cheaper training:
 The speedup assertion only fires on machines with >= 4 cores (a
 single-core box runs the same code without the parallel win); the cache
 assertion holds everywhere.
+
+Honesty contract: every row records the *effective* backend and worker
+count the build actually ran with, not the requested ones.  On a
+single-core host ``ParallelConfig`` self-calibrates pool requests to
+serial, so the table can never again publish a "process x2" row whose
+speedup is structurally <= 1.0x — those rows now read "serial x1" and
+the saved JSON carries an ``auto_calibrated`` flag plus the measurement
+conditions (``cpu_count``).
 """
 
 import os
@@ -64,21 +72,28 @@ def test_parallel_build_speedup(benchmark):
             t0 = time.perf_counter()
             package = build_package(clip, _config(workers))
             total = time.perf_counter() - t0
-            rows.append([workers, total,
+            ran = (f"{package.telemetry.backend} "
+                   f"x{package.telemetry.workers}")
+            rows.append([workers, ran, total,
                          package.telemetry.stage_seconds["train"],
                          package.telemetry.stage_seconds["encode"],
-                         rows[0][1] / total if rows else 1.0])
+                         rows[0][2] / total if rows else 1.0])
         return rows
 
     rows = run_once(benchmark, experiment)
+    calibrated = any(ran == "serial x1" for _, ran, *_ in rows[1:])
     print_table("Parallel build: wall-clock vs workers "
-                f"(K = {K}, {os.cpu_count()} cores)",
-                ["workers", "build (s)", "train (s)", "encode (s)",
-                 "speedup"], rows)
+                f"(K = {K}, {os.cpu_count()} cores"
+                + (", pool requests auto-calibrated to serial)"
+                   if calibrated else ")"),
+                ["requested", "ran", "build (s)", "train (s)",
+                 "encode (s)", "speedup"], rows)
     save_results("parallel_build", {
         "cpu_count": os.cpu_count(),
         "k": K,
-        "rows": [[w, t, tr, en, s] for w, t, tr, en, s in rows],
+        "auto_calibrated": calibrated,
+        "rows": [[w, ran, t, tr, en, s]
+                 for w, ran, t, tr, en, s in rows],
     })
 
     speedup_at_max = rows[-1][-1]
@@ -87,7 +102,9 @@ def test_parallel_build_speedup(benchmark):
         # beat the sequential build clearly.
         assert speedup_at_max >= 1.5
     else:
-        # Parallel correctness still holds; the win needs cores.
+        # The pool requests calibrated down to serial: every row ran the
+        # same code, so the only spread left is measurement noise.
+        assert calibrated
         assert speedup_at_max > 0.3
 
 

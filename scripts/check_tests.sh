@@ -2,9 +2,20 @@
 # Tiered test gate, as documented in docs/testing.md.
 #
 #   tier 1  fast correctness suite — the merge gate; excludes anything
-#           marked tier2 or timing
+#           marked tier2 or timing.  Also runs the static source guards
+#           (below) and the executable-docs suite explicitly, so a
+#           broken fenced example or a thread sneaking into the serve
+#           layer fails the merge gate even if someone narrows the
+#           pytest selection.
 #   tier 2  slower, benchmark-adjacent tests plus wall-clock timing
 #           guards; run before release or after touching hot paths
+#
+# Static guards (cheap, run first so violations fail in seconds):
+#   - no thread spawning inside src/repro/serve/ — the fleet's
+#     determinism contract requires every session to run on the
+#     discrete-event loop (tests/serve/test_no_threads.py is the
+#     authoritative AST-level check; the grep here is a fast first line
+#     that also catches files pytest cannot import).
 #
 # --strict-markers turns any unregistered @pytest.mark.<name> into a
 # collection error, so a typo'd tier mark cannot silently drop a test
@@ -18,9 +29,25 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 tier="${1:-all}"
 
+run_guards() {
+    echo "== static guards =="
+    if grep -rnE 'threading\.Thread\(|ThreadPoolExecutor|ProcessPoolExecutor' \
+            src/repro/serve/ --include='*.py'; then
+        echo "error: thread-based execution found in src/repro/serve/" >&2
+        echo "       (fleet sessions must run on the EventLoop;" >&2
+        echo "       see tests/serve/test_no_threads.py)" >&2
+        exit 1
+    fi
+    echo "ok: no thread spawning in src/repro/serve/"
+}
+
 run_tier1() {
+    run_guards
     echo "== tier 1: fast correctness gate =="
     python -m pytest -x -q --strict-markers -m "not tier2 and not timing"
+    echo "== tier 1: executable docs =="
+    python -m pytest -x -q --strict-markers tests/test_docs.py \
+        tests/serve/test_no_threads.py
 }
 
 run_tier2() {

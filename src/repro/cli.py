@@ -103,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("package", help="package directory")
     serve.add_argument("--sessions", type=int, default=4,
                        help="number of viewer sessions to simulate")
+    serve.add_argument("--mode", choices=("playback", "trace"),
+                       default="playback",
+                       help="playback = full media sessions; trace = "
+                            "byte-trace replicas (thousand-session scale)")
     serve.add_argument("--arrival", default="all", metavar="SPEC",
                        help="arrival schedule: all | poisson:<rate> | "
                             "uniform:<gap-seconds>")
@@ -116,9 +120,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="injected per-download failure probability")
     serve.add_argument("--retries", type=int, default=3,
                        help="retry budget per download (with backoff)")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       metavar="BPS",
+                       help="per-session token-bucket rate cap in bit/s "
+                            "(default: uncapped)")
+    serve.add_argument("--edges", type=int, default=1,
+                       help="edge caches in the CDN hierarchy; sessions "
+                            "shard across them by id")
+    serve.add_argument("--cache-admission",
+                       choices=("always", "second-hit", "size-aware"),
+                       default="always",
+                       help="edge cache admission policy for missed models")
     serve.add_argument("--cache-capacity", type=int, default=None,
                        metavar="N",
-                       help="shared model cache bound (default unbounded)")
+                       help="per-edge model cache bound (default unbounded)")
     serve.add_argument("--max-sessions", type=int, default=None, metavar="N",
                        help="admission-control concurrency limit "
                             "(default: admit everyone)")
@@ -135,9 +150,6 @@ def build_parser() -> argparse.ArgumentParser:
                             "fails unenhanced instead of raising")
     serve.add_argument("--seed", type=int, default=0,
                        help="fleet seed (arrivals + per-session failures)")
-    serve.add_argument("--workers", type=int, default=None, metavar="N",
-                       help="wall-clock thread-pool width (execution "
-                            "only; simulated numbers are unaffected)")
     serve.add_argument("--reference", default=None,
                        help="original video .npz for quality scoring")
     serve.add_argument("--trace-out", default=None, metavar="FILE",
@@ -301,13 +313,15 @@ def _cmd_serve(args) -> int:
     package = load_package(args.package)
     reference = _load_clip(args.reference).frames if args.reference else None
     config = FleetConfig(
-        sessions=args.sessions, arrival=args.arrival,
+        sessions=args.sessions, mode=args.mode, arrival=args.arrival,
         bandwidth_bps=args.bandwidth, latency_s=args.latency,
         fail_rate=args.fail_rate, retries=args.retries,
+        rate_limit_bps=args.rate_limit, edges=args.edges,
+        cache_admission=args.cache_admission,
         cache_capacity=args.cache_capacity,
         max_sessions=args.max_sessions, admission=args.admission,
         batching=args.batching, max_batch=args.max_batch,
-        fallback=args.fallback, seed=args.seed, workers=args.workers,
+        fallback=args.fallback, seed=args.seed,
     )
     obs = Observability(root_name="serve")
     simulator = FleetSimulator(package, config, obs=obs)

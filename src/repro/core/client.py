@@ -61,6 +61,7 @@ from .server import DcsrPackage
 __all__ = [
     "PLAYBACK_STAGES",
     "FastPathConfig",
+    "PlayoutClock",
     "SegmentPlayback",
     "PlaybackTelemetry",
     "PlayedFrame",
@@ -119,6 +120,43 @@ class FastPathConfig:
     sr_threads: int = 1
     prefetch: int = 0
     calibrate: bool = True
+
+
+class PlayoutClock:
+    """The serial playout recurrence, shared by the reference client and
+    the fleet simulator's trace-mode sessions.
+
+    Segment ``i`` becomes ready ``download + compute`` seconds after
+    segment ``i-1`` did; it *should* be ready by the time segment
+    ``i-1`` finishes displaying at ``fps``.  The first segment's ready
+    time is the startup delay; any later segment's lateness accrues as
+    stall seconds; an early segment pushes the next deadline out by
+    exactly its display duration (no credit accumulates).  All inputs
+    are simulated (or measured) seconds — the recurrence itself is pure
+    arithmetic, so two runs fed identical per-segment seconds produce
+    bit-identical stall numbers.
+    """
+
+    def __init__(self, fps: float):
+        if fps <= 0:
+            raise ValueError(f"fps must be > 0, got {fps}")
+        self.fps = float(fps)
+        #: Session clock: when the most recent segment became ready.
+        self.position_s = 0.0
+        self.startup_s = 0.0
+        self.stall_s = 0.0
+        self._next_deadline: float | None = None
+
+    def segment_ready(self, seconds: float, n_frames: int) -> None:
+        """Advance past one segment that took ``seconds`` to be ready
+        and displays for ``n_frames / fps``."""
+        self.position_s += seconds
+        if self._next_deadline is None:
+            self.startup_s = self.position_s
+            self._next_deadline = self.position_s
+        self.stall_s += max(0.0, self.position_s - self._next_deadline)
+        self._next_deadline = max(self.position_s, self._next_deadline) \
+            + n_frames / self.fps
 
 
 @dataclass
@@ -470,10 +508,8 @@ class DcsrClient:
                      telemetry: PlaybackTelemetry) -> Iterator[PlayedFrame]:
         """The reference engine: strictly serial download → decode → emit."""
         package = self.package
-        fps = package.encoded.fps
         held: list[YuvFrame | None] = [None]
-        clock = 0.0            # simulated session clock (download + compute)
-        next_deadline: float | None = None
+        playout = PlayoutClock(package.encoded.fps)
 
         for segment, encoded_segment in zip(package.segments,
                                             package.encoded.segments):
@@ -488,14 +524,11 @@ class DcsrClient:
                     telemetry.peak_resident_frames,
                     len(decoded) + (1 if held[0] is not None else 0))
 
-            clock += seg_t.download_s + seg_t.decode_s + seg_t.sr_s \
-                + seg_t.color_s
-            if next_deadline is None:
-                telemetry.startup_seconds = clock
-                next_deadline = clock
-            telemetry.stall_seconds += max(0.0, clock - next_deadline)
-            next_deadline = max(clock, next_deadline) \
-                + segment.n_frames / fps
+            playout.segment_ready(
+                seg_t.download_s + seg_t.decode_s + seg_t.sr_s
+                + seg_t.color_s, segment.n_frames)
+            telemetry.startup_seconds = playout.startup_s
+            telemetry.stall_seconds = playout.stall_s
 
             yield from self._emit_segment(segment, seg_t, decoded, held,
                                           reference_frames, result)

@@ -52,11 +52,22 @@ class ParallelConfig:
     code path, also used automatically when only one worker resolves).
     ``chunk_size`` is the number of I frames embedded per VAE feature-
     extraction task.
+
+    With ``auto_calibrate`` (the default), a pool backend additionally
+    self-calibrates to ``serial`` on single-core hosts: when
+    ``os.cpu_count() == 1``, no pool can beat the serial path — it can
+    only add IPC and serialization overhead — so the build runs (and,
+    crucially, *reports*) serial rather than publishing a "process x2"
+    row whose measured speedup can never exceed 1.0x.  Set
+    ``auto_calibrate=False`` to force the requested pool regardless
+    (pool-mechanics tests do this; results are bit-identical either way
+    by the determinism contract).
     """
 
     workers: int | None = None
     backend: str = "serial"
     chunk_size: int = 16
+    auto_calibrate: bool = True
 
     def __post_init__(self):
         if self.backend not in BACKENDS:
@@ -68,15 +79,21 @@ class ParallelConfig:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
 
     def resolve_workers(self) -> int:
-        """The concrete worker count (1 for the serial backend)."""
+        """The concrete worker count (1 whenever the build runs serial)."""
         if self.backend == "serial":
             return 1
-        if self.workers is not None:
-            return self.workers
-        return os.cpu_count() or 1
+        workers = self.workers if self.workers is not None \
+            else (os.cpu_count() or 1)
+        if self.auto_calibrate and (os.cpu_count() or 1) == 1:
+            return 1
+        return workers
 
     def effective_backend(self) -> str:
-        """``serial`` whenever a pool would not help (one worker)."""
+        """``serial`` whenever a pool would not help.
+
+        One resolved worker never benefits from a pool — including any
+        pool on a single-core host under ``auto_calibrate``.
+        """
         if self.backend == "serial" or self.resolve_workers() == 1:
             return "serial"
         return self.backend

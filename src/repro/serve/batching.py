@@ -26,6 +26,15 @@ session boundaries without changing what any viewer sees.
 All waiting is :class:`threading.Condition` based with deadlines read
 from the process wall clock — no raw ``time`` usage (the static
 no-raw-timers guard covers this module too).
+
+This module spawns no threads of its own (the serve-layer no-threads
+guard applies); it only *synchronizes* whatever threads its callers
+bring.  Under the single-threaded fleet :class:`~repro.serve.events.
+EventLoop`, sessions execute one at a time, so every submitter is its
+own leader: the ``max_wait_s`` door can only expire (costing bounded
+wall time, never correctness) and batches hold one frame.  Cross-session
+merging — and the bitwise-equality guarantee that makes it safe — is
+exercised directly by multi-threaded callers in the test suite.
 """
 
 from __future__ import annotations

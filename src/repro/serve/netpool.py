@@ -24,7 +24,20 @@ Each session draws a :class:`PooledNetwork` from the pool: a
   across runs regardless of how the OS interleaves session threads;
 - its **own simulated clock** (per-session time domain), offset by the
   session's arrival time when mapped onto the pool timeline;
-- per-session metric labels (``session="3"``) on every download counter.
+- per-session metric labels (``session="3"``) on every download counter;
+- optionally its **own token bucket** (``rate_limit_bps``): a per-session
+  cap below the pool's fair share, modelled as the classic
+  refill-and-drain throttler — a transfer finding the bucket short waits
+  out the deficit before joining the pool.
+
+For event-driven fleets the pool also supports **watermark pruning**:
+:meth:`SharedNetworkPool.advance_watermark` declares that every future
+charge starts at or after a given sim instant, letting the pool drop
+transfer intervals that can no longer overlap anything.  This keeps the
+per-charge interval scan bounded by the number of *concurrently active*
+transfers instead of the total transfer history, which is what makes
+5,000-session runs linear-time.  Pruning never changes any computed
+duration — dropped intervals are exactly those with zero future overlap.
 """
 
 from __future__ import annotations
@@ -33,6 +46,7 @@ import threading
 
 from ..core.network import NetworkConfig, SimulatedNetwork
 from ..obs import Observability
+from .events import TokenBucket
 
 __all__ = ["SharedNetworkPool", "PooledNetwork"]
 
@@ -56,25 +70,43 @@ class SharedNetworkPool:
     obs:
         Shared :class:`~repro.obs.Observability` the per-session download
         counters land in (labelled per session).
+    rate_limit_bps:
+        Optional per-session token-bucket rate cap in bit/s: each
+        session's transfers drain a private
+        :class:`~repro.serve.events.TokenBucket` refilling at this rate
+        (burst = ``rate_limit_burst_bits``, default one second's worth)
+        before joining the fair-share pool.  ``None`` disables the
+        limiter entirely — the pre-limiter arithmetic is untouched, so
+        existing single-link reductions stay bit-identical.
     """
 
     def __init__(self, bandwidth_bps: float | None = None,
                  latency_s: float = 0.0, fail_rate: float = 0.0,
-                 seed: int = 0, obs: Observability | None = None):
+                 seed: int = 0, obs: Observability | None = None,
+                 rate_limit_bps: float | None = None,
+                 rate_limit_burst_bits: float | None = None):
         # Validation is delegated to NetworkConfig (same error messages).
         NetworkConfig(fail_rate=fail_rate, bandwidth_bps=bandwidth_bps,
                       latency_s=latency_s, seed=seed)
+        if rate_limit_bps is not None and rate_limit_bps <= 0:
+            raise ValueError(
+                f"rate_limit_bps must be > 0 (or None), got {rate_limit_bps}")
         self.bandwidth_bps = bandwidth_bps
         self.latency_s = latency_s
         self.fail_rate = fail_rate
         self.seed = seed
         self.obs = obs
+        self.rate_limit_bps = rate_limit_bps
+        self.rate_limit_burst_bits = rate_limit_burst_bits
         self._lock = threading.Lock()
         #: Finalized transfer intervals ``(start, end)`` on the pool
         #: timeline, used to compute overlap for new transfers.
         self._intervals: list[tuple[float, float]] = []
+        self._watermark = float("-inf")
         self.peak_concurrency = 0
         self.total_transfers = 0
+        #: Total simulated seconds sessions idled in their token buckets.
+        self.rate_limit_wait_s = 0.0
 
     @staticmethod
     def session_seed(seed: int, session_id: int) -> int:
@@ -88,10 +120,30 @@ class SharedNetworkPool:
             fail_rate=self.fail_rate, bandwidth_bps=self.bandwidth_bps,
             latency_s=self.latency_s,
             seed=self.session_seed(self.seed, session_id))
+        bucket = (TokenBucket(self.rate_limit_bps,
+                              burst_bits=self.rate_limit_burst_bits)
+                  if self.rate_limit_bps is not None else None)
         return PooledNetwork(self, session_id, arrival_s, config,
-                             obs=self.obs)
+                             obs=self.obs, bucket=bucket)
 
     # ------------------------------------------------------------- charging
+
+    def advance_watermark(self, now_s: float) -> None:
+        """Promise that every future :meth:`charge` starts at or after
+        ``now_s``; prune intervals that ended before it.
+
+        The event-driven fleet calls this as its loop advances (charges
+        happen at the loop's ``now`` or later), bounding the interval
+        list by the active transfer count.  Callers issuing charges out
+        of sim-time order must simply not advance the watermark past
+        their earliest future start.
+        """
+        with self._lock:
+            if now_s <= self._watermark:
+                return
+            self._watermark = now_s
+            self._intervals = [iv for iv in self._intervals
+                               if iv[1] > now_s]
 
     def charge(self, start_s: float, n_bytes: int) -> float:
         """Fair-share transfer seconds for ``n_bytes`` starting at
@@ -143,15 +195,21 @@ class PooledNetwork(SimulatedNetwork):
     that transfer time comes from the pool's fair-share model.  The
     session's position on the shared pool timeline is its arrival offset
     plus its own simulated clock.
+
+    With a ``bucket`` (per-session token-bucket rate limit), a transfer
+    first waits out any token deficit, then joins the pool — the
+    reported duration is bucket wait plus fair-share drain time.
     """
 
     def __init__(self, pool: SharedNetworkPool, session_id: int,
                  arrival_s: float, config: NetworkConfig,
-                 obs: Observability | None = None):
+                 obs: Observability | None = None,
+                 bucket: TokenBucket | None = None):
         super().__init__(config=config, obs=obs, session=str(session_id))
         self.pool = pool
         self.session_id = session_id
         self.arrival_s = float(arrival_s)
+        self.bucket = bucket
 
     def pool_time(self) -> float:
         """This session's current position on the pool timeline."""
@@ -161,4 +219,10 @@ class PooledNetwork(SimulatedNetwork):
         # The request's latency has already elapsed by the time bytes
         # start flowing, so the transfer joins the pool after it.
         start = self.pool_time() + self.config.latency_s
-        return self.pool.charge(start, n_bytes)
+        wait = 0.0
+        if self.bucket is not None:
+            wait = self.bucket.consume(8.0 * n_bytes, start)
+            if wait:
+                with self.pool._lock:
+                    self.pool.rate_limit_wait_s += wait
+        return wait + self.pool.charge(start + wait, n_bytes)

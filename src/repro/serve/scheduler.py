@@ -2,28 +2,41 @@
 
 The paper evaluates one client; the deployment question (ROADMAP north
 star) is what happens when thousands of viewers hit the same package.
-:class:`FleetSimulator` runs N concurrent :class:`~repro.core.client.
-DcsrClient` sessions against the shared serving substrate:
+:class:`FleetSimulator` runs N concurrent sessions against the shared
+serving substrate:
 
-- one :class:`~repro.serve.shared_cache.SharedModelCache` — a micro model
-  any session downloaded is a cache hit for every other session;
+- one :class:`~repro.serve.shared_cache.CacheHierarchy` — per-edge model
+  caches in front of an origin shield, with configurable admission, so a
+  micro model any session downloaded is an edge hit for its neighbours
+  and the origin-offload curve is measurable;
 - one :class:`~repro.serve.netpool.SharedNetworkPool` — sessions split a
-  single simulated uplink fairly instead of each getting a private link;
+  single simulated uplink fairly instead of each getting a private link,
+  optionally behind per-session token-bucket rate limits;
 - optionally one :class:`~repro.serve.batching.BatchingInferenceEngine` —
   I-frame tiles from co-playing sessions ride one GEMM call.
 
-Time has two independent axes, kept deliberately separate:
+**Everything runs on one thread.**  All time a result depends on is
+simulated seconds, so sessions are processes on a deterministic
+:class:`~repro.serve.events.EventLoop` (an event heap with ``(time,
+seq)`` ordering) rather than OS threads: no GIL contention, no
+scheduler nondeterminism, and fleet sizes are bounded by memory, not by
+thread count.  Two session engines share that loop:
 
-- **Simulated time** drives everything a result depends on: arrival
-  schedules, admission control, fair-share transfer seconds, stalls.  It
-  is derived only from seeded RNGs and the package, so a fleet run's
-  numbers are reproducible regardless of machine load.
-- **Wall time** is only an execution detail: admitted sessions run on a
-  thread pool whose width bounds real concurrency but never changes any
-  simulated quantity.
+- ``mode="playback"`` (default) — each session is a full
+  :class:`~repro.core.client.DcsrClient` playing real media (decode, SR,
+  per-frame quality).  Sessions execute at their admitted start instants
+  in deterministic order; a fleet of one is bitwise-equal to a plain
+  client on a dedicated link.
+- ``mode="trace"`` — each session is a lightweight generator that
+  replays the package's *byte trace* (manifest model sizes + encoded
+  segment sizes) through the same cache hierarchy, network pool, retry,
+  and playout-clock math, but performs no decode or SR.  Sessions
+  interleave per segment in sim-time order, which is what makes
+  5,000–10,000-session runs practical and gives the fair-share pool a
+  causally ordered charge sequence.
 
-Admission control is likewise pure simulated time.  Each session plays
-for ``n_frames / fps`` simulated seconds; with ``max_sessions = c`` the
+Admission control is pure simulated time.  Each session plays for
+``n_frames / fps`` simulated seconds; with ``max_sessions = c`` the
 fleet behaves as a c-server queue over the arrival schedule — the
 ``queue`` policy delays a session's start until a slot frees (M/D/c
 style), while ``reject`` turns it away when all ``c`` slots are busy at
@@ -34,21 +47,28 @@ from __future__ import annotations
 
 import heapq
 import random
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.client import DcsrClient, PlaybackResult
-from ..core.network import RetryPolicy
+from ..core.client import (
+    DcsrClient,
+    PlaybackResult,
+    PlaybackTelemetry,
+    PlayoutClock,
+    SegmentPlayback,
+)
+from ..core.network import DownloadError, RetryPolicy, download_with_retry
 from ..core.server import DcsrPackage
 from ..core.streaming import session_goodput_bps, stall_ratio
 from ..obs import Observability
 from .batching import BatchingInferenceEngine
+from .events import EventLoop, Until
 from .netpool import SharedNetworkPool
-from .shared_cache import SharedModelCache
+from .shared_cache import ADMISSION_POLICIES, CacheHierarchy
 
 __all__ = [
+    "FLEET_MODES",
     "FleetConfig",
     "SessionResult",
     "FleetTelemetry",
@@ -56,6 +76,9 @@ __all__ = [
     "FleetSimulator",
     "arrival_times",
 ]
+
+#: Accepted values of :attr:`FleetConfig.mode`.
+FLEET_MODES = ("playback", "trace")
 
 
 @dataclass(frozen=True)
@@ -66,6 +89,11 @@ class FleetConfig:
     ----------
     sessions:
         Number of viewer sessions to simulate.
+    mode:
+        ``"playback"`` runs full :class:`~repro.core.client.DcsrClient`
+        sessions (real decode + SR); ``"trace"`` replays the package's
+        byte trace through the same serving substrate without media
+        compute — the engine for thousand-session runs.
     arrival:
         Arrival schedule: ``"all"`` (everyone at t=0), ``"poisson:<rate>"``
         (seeded exponential inter-arrivals at ``rate`` sessions/s), or
@@ -74,36 +102,49 @@ class FleetConfig:
         The shared uplink: one pool of ``bandwidth_bps`` split fairly
         among active transfers; latency, failure injection, and the retry
         budget apply per session exactly as on a dedicated link.
+    rate_limit_bps:
+        Optional per-session token-bucket cap in bit/s (burst = one
+        second's worth): each session's transfers wait out their token
+        deficit before joining the pool.  ``None`` disables the limiter.
+    edges:
+        Number of edge caches in the CDN hierarchy; sessions shard
+        across them by ``session_id % edges``.
+    cache_admission:
+        Edge admission policy, one of
+        :data:`~repro.serve.shared_cache.ADMISSION_POLICIES`
+        (``always`` / ``second-hit`` / ``size-aware``).
     cache_capacity:
-        Bound on the shared model cache (``None`` = unbounded).
+        LRU bound per edge cache (``None`` = unbounded).
     max_sessions / admission:
-        Admission control: at most ``max_sessions`` sessions play
-        concurrently (in simulated time); an arrival beyond that is
+        Session admission control: at most ``max_sessions`` sessions
+        play concurrently (in simulated time); an arrival beyond that is
         queued until a slot frees (``"queue"``) or turned away
         (``"reject"``).  ``max_sessions=None`` admits everyone at their
         arrival instant.
     batching / max_batch / max_wait_s:
-        Cross-session SR batching (off by default: every session runs the
-        reference per-frame SR path, which keeps fleet frames bit-equal
-        to a solo client).
+        Cross-session SR batching, playback mode only (off by default:
+        every session runs the reference per-frame SR path, which keeps
+        fleet frames bit-equal to a solo client).  On the single-threaded
+        scheduler the ``max_wait_s`` door only costs wall-clock — it can
+        never change a simulated number.
     fallback:
         Per-session model-fetch fallback (play unenhanced instead of
         raising), as in :class:`~repro.core.client.DcsrClient`.
     seed:
         Fleet seed: drives the arrival schedule and derives each
         session's private failure-RNG stream.
-    workers:
-        Wall-clock thread-pool width (execution only — simulated numbers
-        are identical for any value).  ``None`` sizes it to the admitted
-        session count.
     """
 
     sessions: int = 4
+    mode: str = "playback"
     arrival: str = "all"
     bandwidth_bps: float | None = None
     latency_s: float = 0.0
     fail_rate: float = 0.0
     retries: int = 3
+    rate_limit_bps: float | None = None
+    edges: int = 1
+    cache_admission: str = "always"
     cache_capacity: int | None = None
     max_sessions: int | None = None
     admission: str = "queue"
@@ -112,18 +153,26 @@ class FleetConfig:
     max_wait_s: float = 0.002
     fallback: bool = False
     seed: int = 0
-    workers: int | None = None
 
     def __post_init__(self):
         if self.sessions < 1:
             raise ValueError(f"sessions must be >= 1, got {self.sessions}")
+        if self.mode not in FLEET_MODES:
+            raise ValueError(
+                f"mode must be one of {FLEET_MODES}, got {self.mode!r}")
         if self.admission not in ("queue", "reject"):
             raise ValueError(
                 f"admission must be 'queue' or 'reject', got {self.admission!r}")
+        if self.cache_admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"cache_admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.cache_admission!r}")
+        if self.edges < 1:
+            raise ValueError(f"edges must be >= 1, got {self.edges}")
         if self.max_sessions is not None and self.max_sessions < 1:
             raise ValueError("max_sessions must be >= 1 (or None)")
-        if self.workers is not None and self.workers < 1:
-            raise ValueError("workers must be >= 1 (or None)")
+        if self.rate_limit_bps is not None and self.rate_limit_bps <= 0:
+            raise ValueError("rate_limit_bps must be > 0 (or None)")
         arrival_times(self)     # validates the arrival spec eagerly
 
 
@@ -191,9 +240,15 @@ class FleetTelemetry:
     queue_wait_s: float = 0.0           # summed across queued sessions
     aggregate_goodput_bps: float = 0.0  # delivered bits / summed download s
     mean_session_goodput_bps: float = 0.0
-    cache_hit_rate: float = 0.0         # fleet-wide, cross-session
+    cache_hit_rate: float = 0.0         # edge-hit fraction, cross-session
     cache_downloads: int = 0
     cache_evictions: int = 0
+    #: Fraction of model requests that never read origin storage
+    #: (edge hits + origin-shield hits).
+    origin_offload: float = 0.0
+    edge_hits: int = 0
+    origin_fetches: int = 0
+    cache_admission_denied: int = 0
     total_model_bytes: int = 0
     total_video_bytes: int = 0
     #: (stall_seconds, cumulative fraction) quantiles across sessions.
@@ -202,6 +257,11 @@ class FleetTelemetry:
     n_batches: int = 0
     mean_batch_size: float = 0.0
     peak_network_concurrency: int = 0
+    #: Simulated seconds sessions idled in their token buckets.
+    rate_limit_wait_s: float = 0.0
+    #: Discrete events the loop processed, and the sim instant it ended.
+    events_processed: int = 0
+    sim_duration_s: float = 0.0
 
     def summary_lines(self) -> list[str]:
         """Printable fleet summary (CLI ``serve``), via the shared
@@ -213,13 +273,23 @@ class FleetTelemetry:
              + (f", {self.rejected} rejected" if self.rejected else "")],
             ["goodput", f"{self.aggregate_goodput_bps / 1e6:.2f} Mbit/s "
              f"aggregate, {self.mean_session_goodput_bps / 1e6:.2f} mean"],
-            ["cache", f"{self.cache_hit_rate:.0%} hit rate, "
+            ["cache", f"{self.cache_hit_rate:.0%} edge hit rate, "
              f"{self.cache_downloads} downloads, "
              f"{self.total_model_bytes} model bytes"],
+            ["origin", f"{self.origin_offload:.0%} offload, "
+             f"{self.origin_fetches} storage fetches"],
             ["network", f"peak {self.peak_network_concurrency} concurrent "
              f"transfers, {self.total_video_bytes} video bytes"],
             ["stalls", f"{self.mean_stall_ratio:.1%} mean stall ratio"],
+            ["events", f"{self.events_processed} processed, "
+             f"sim ended at {self.sim_duration_s:.2f}s"],
         ]
+        if self.rate_limit_wait_s:
+            rows.append(["ratelimit",
+                         f"{self.rate_limit_wait_s:.2f}s total bucket wait"])
+        if self.cache_admission_denied:
+            rows.append(["admission(edge)",
+                         f"{self.cache_admission_denied} models not stored"])
         if self.queue_wait_s:
             rows.append(["admission",
                          f"{self.queue_wait_s:.2f}s total queue wait"])
@@ -250,11 +320,14 @@ class FleetResult:
 class FleetSimulator:
     """Run one package through a fleet of concurrent streaming sessions.
 
-    All sessions share this simulator's :class:`SharedModelCache`,
+    All sessions share this simulator's :class:`CacheHierarchy`,
     :class:`SharedNetworkPool`, optional
     :class:`BatchingInferenceEngine`, and :class:`~repro.obs.Observability`
     session (per-session subtrees are tagged ``session=<id>`` on their
-    ``play`` spans and network counters).
+    ``play``/``session`` spans and network counters).  Execution is a
+    single-threaded :class:`~repro.serve.events.EventLoop`; after
+    :meth:`run`, :attr:`loop` exposes the drained loop (event count,
+    final sim instant, optional history).
     """
 
     def __init__(self, package: DcsrPackage, config: FleetConfig,
@@ -262,14 +335,21 @@ class FleetSimulator:
         self.package = package
         self.config = config
         self.obs = obs or Observability(root_name="fleet")
-        self.cache: SharedModelCache = SharedModelCache(
-            capacity=config.cache_capacity)
+        manifest = getattr(package, "manifest", None)
+        self.cache: CacheHierarchy = CacheHierarchy(
+            edges=config.edges,
+            edge_capacity=config.cache_capacity,
+            admission=config.cache_admission,
+            model_sizes=(dict(manifest.model_sizes)
+                         if manifest is not None else None))
         self.pool = SharedNetworkPool(
             bandwidth_bps=config.bandwidth_bps, latency_s=config.latency_s,
-            fail_rate=config.fail_rate, seed=config.seed, obs=self.obs)
+            fail_rate=config.fail_rate, seed=config.seed, obs=self.obs,
+            rate_limit_bps=config.rate_limit_bps)
         self.batcher = (BatchingInferenceEngine(
             max_batch=config.max_batch, max_wait_s=config.max_wait_s,
             obs=self.obs) if config.batching else None)
+        self.loop: EventLoop | None = None
 
     # -------------------------------------------------------------- admission
 
@@ -307,12 +387,16 @@ class FleetSimulator:
 
     # -------------------------------------------------------------- execution
 
-    def run(self, reference: np.ndarray | None = None) -> FleetResult:
-        """Play every admitted session; return fleet-wide results.
+    def run(self, reference: np.ndarray | None = None,
+            trace_events: bool = False) -> FleetResult:
+        """Drive every admitted session on one event loop; return
+        fleet-wide results.
 
         ``reference`` (the pristine frames) enables per-frame quality
-        scoring in each session, exactly as in
-        :meth:`~repro.core.client.DcsrClient.play`.
+        scoring in each playback-mode session, exactly as in
+        :meth:`~repro.core.client.DcsrClient.play`.  ``trace_events``
+        records the loop's processed-event history (determinism tests
+        compare two histories for bitwise equality).
         """
         config = self.config
         shells = self.admit(arrival_times(config))
@@ -323,18 +407,37 @@ class FleetSimulator:
                     "dcsr_fleet_rejected_total",
                     "Sessions turned away by admission control").inc()
 
-        workers = config.workers or max(1, len(admitted))
-        if admitted:
-            with ThreadPoolExecutor(max_workers=workers,
-                                    thread_name_prefix="dcsr-fleet") as pool:
-                futures = [pool.submit(self._run_session, shell, reference)
-                           for shell in admitted]
-                for shell, future in zip(admitted, futures):
-                    shell.result = future.result()
+        loop = self.loop = EventLoop(trace=trace_events)
+        for shell in admitted:
+            if config.mode == "trace":
+                loop.spawn(self._trace_session(shell), at=shell.start_s,
+                           name=f"session-{shell.session_id}")
+            else:
+                loop.call_at(shell.start_s,
+                             self._playback_action(shell, reference),
+                             label=f"session-{shell.session_id}")
+        loop.run()
 
         result = FleetResult(config=config, sessions=shells, obs=self.obs)
         self._finalize(result)
         return result
+
+    # ------------------------------------------------------ playback sessions
+
+    def _playback_action(self, shell: SessionResult, reference):
+        """One playback session as a single event at its start instant.
+
+        A full client session runs inline when the loop reaches
+        ``start_s``: sessions execute in deterministic (start, session)
+        order, and every simulated quantity each one records is anchored
+        at its own arrival offset on the pool timeline — exactly the
+        causal model the threaded scheduler computed, minus the
+        nondeterministic charge interleaving.
+        """
+        def action() -> None:
+            self.pool.advance_watermark(shell.start_s)
+            shell.result = self._run_session(shell, reference)
+        return action
 
     def _run_session(self, shell: SessionResult,
                      reference) -> PlaybackResult:
@@ -346,12 +449,119 @@ class FleetSimulator:
             retry=RetryPolicy(retries=self.config.retries),
             fallback=self.config.fallback,
             obs=self.obs,
-            model_cache=self.cache,
+            model_cache=self.cache.edge_for(shell.session_id),
             engine_provider=(self.batcher.engine_for
                              if self.batcher is not None else None),
             span_attrs={"session": shell.session_id},
         )
         return client.play(reference)
+
+    # --------------------------------------------------------- trace sessions
+
+    def _trace_session(self, shell: SessionResult):
+        """One byte-trace session as an event-loop process.
+
+        Replays the package's manifest through the real serving
+        substrate — hierarchy admission, single-flightless edge sharing,
+        fair-share pool charges, token buckets, retry/backoff, playout
+        recurrence — while skipping decode/SR compute entirely.  Yields
+        back to the loop before each segment so sessions interleave in
+        sim-time order (the pool's charges arrive causally sorted, and
+        the watermark can prune dead intervals).
+        """
+        package = self.package
+        manifest = package.manifest
+        config = self.config
+        network = self.pool.session(shell.session_id,
+                                    arrival_s=shell.start_s)
+        retry = RetryPolicy(retries=config.retries)
+        pending = {"seconds": 0.0, "attempts": 0, "bytes": 0}
+
+        def fetch(label: int):
+            size = manifest.model_sizes[label]
+            seconds, attempts = download_with_retry(
+                network, retry, "model", label, size)
+            pending["seconds"] += seconds
+            pending["attempts"] += attempts
+            pending["bytes"] += size
+            return ("model", label)     # byte-trace stand-in for the model
+
+        cache = self.cache.edge_for(shell.session_id).session(fetch)
+        fps = package.encoded.fps
+        telemetry = PlaybackTelemetry(native_fps=fps, obs=self.obs)
+        result = PlaybackResult(telemetry=telemetry)
+        playout = PlayoutClock(fps)
+
+        for segment, encoded_segment in zip(package.segments,
+                                            package.encoded.segments):
+            # Wake exactly when this session's link is next free: charges
+            # hit the pool in global sim-time order across all sessions.
+            now = yield Until(shell.start_s + network.clock.now())
+            self.pool.advance_watermark(now)
+
+            seg_t = SegmentPlayback(index=segment.index,
+                                    n_frames=segment.n_frames)
+            telemetry.segments.append(seg_t)
+            label = manifest.model_label_for(segment.index)
+            pending.update(seconds=0.0, attempts=0, bytes=0)
+            acquired = False
+            try:
+                cache.acquire(label)
+                acquired = True
+            except (KeyError, DownloadError) as exc:
+                if isinstance(exc, DownloadError):
+                    pending["seconds"] += exc.seconds
+                    pending["attempts"] += exc.attempts
+                if not config.fallback:
+                    raise
+                seg_t.status = "fallback"
+                result.fallback_segments.append(segment.index)
+            seg_t.download_s += pending["seconds"]
+            seg_t.download_attempts += pending["attempts"]
+            result.model_bytes += pending["bytes"]
+
+            try:
+                try:
+                    seconds, attempts = download_with_retry(
+                        network, retry, "segment", encoded_segment.index,
+                        encoded_segment.n_bytes)
+                    seg_t.download_s += seconds
+                    seg_t.download_attempts += attempts
+                    result.video_bytes += encoded_segment.n_bytes
+                except DownloadError as exc:
+                    seg_t.download_s += exc.seconds
+                    seg_t.download_attempts += exc.attempts
+                    if seg_t.status == "fallback":
+                        result.fallback_segments.remove(segment.index)
+                    seg_t.status = "concealed"
+                    result.skipped_segments.append(segment.index)
+            finally:
+                if acquired:
+                    cache.release(label)
+
+            playout.segment_ready(seg_t.download_s, segment.n_frames)
+
+        telemetry.startup_seconds = playout.startup_s
+        telemetry.stall_seconds = playout.stall_s
+        telemetry.stage_seconds = {
+            "download": sum(s.download_s for s in telemetry.segments),
+            "decode": 0.0,      # trace mode performs no media compute
+        }
+        telemetry.download_attempts = sum(s.download_attempts
+                                          for s in telemetry.segments)
+        telemetry.cache_hit_rate = cache.stats.hit_rate
+        result.model_downloads = list(cache.stats.downloaded_labels)
+        result.cache_stats = cache.stats
+        # One span per session (per-download spans would dominate memory
+        # at 5k sessions); stamped against the session's simulated clock
+        # so it carries clock="simulated" like client download spans.
+        self.obs.tracer.record(
+            "session", playout.position_s, clock=network.clock,
+            session=shell.session_id, mode="trace",
+            segments=len(telemetry.segments))
+        shell.result = result
+
+    # ------------------------------------------------------------ aggregation
 
     def _finalize(self, fleet: FleetResult) -> None:
         t = fleet.telemetry
@@ -363,8 +573,16 @@ class FleetSimulator:
         t.queue_wait_s = sum(s.queue_wait_s for s in completed)
         t.cache_hit_rate = self.cache.stats.hit_rate
         t.cache_downloads = self.cache.stats.downloads
-        t.cache_evictions = self.cache.stats.evictions
+        t.cache_evictions = self.cache.evictions
+        t.origin_offload = self.cache.stats.origin_offload
+        t.edge_hits = self.cache.stats.edge_hits
+        t.origin_fetches = self.cache.stats.origin_fetches
+        t.cache_admission_denied = self.cache.stats.denied
         t.peak_network_concurrency = self.pool.peak_concurrency
+        t.rate_limit_wait_s = self.pool.rate_limit_wait_s
+        if self.loop is not None:
+            t.events_processed = self.loop.events_processed
+            t.sim_duration_s = self.loop.now
         if self.batcher is not None:
             t.n_batches = self.batcher.stats.n_batches
             t.mean_batch_size = self.batcher.stats.mean_batch_size
@@ -394,11 +612,17 @@ class FleetSimulator:
                       "Sessions in the most recent fleet run"
                       ).set(t.sessions)
         metrics.gauge("dcsr_fleet_cache_hit_rate",
-                      "Cross-session model cache hit rate"
+                      "Cross-session edge cache hit rate"
                       ).set(t.cache_hit_rate)
+        metrics.gauge("dcsr_fleet_origin_offload",
+                      "Fraction of model requests kept off origin storage"
+                      ).set(t.origin_offload)
         metrics.gauge("dcsr_fleet_goodput_bps",
                       "Aggregate delivered bits per download second"
                       ).set(t.aggregate_goodput_bps)
+        metrics.counter("dcsr_fleet_events_total",
+                        "Discrete events processed by the fleet loop"
+                        ).inc(t.events_processed)
         for seconds in stalls:
             metrics.histogram("dcsr_fleet_stall_seconds",
                               "Per-session simulated stall seconds"

@@ -24,6 +24,18 @@ Each playing session holds a :class:`CacheSession` view: same
 ``acquire``/``release``/``stats`` protocol as :class:`ModelCache`, with a
 per-session :class:`~repro.core.cache.CacheStats` (this session's hits,
 downloads, downloaded labels) next to the fleet-wide aggregate.
+
+:class:`CacheHierarchy` composes these stores into a two-tier CDN shape
+for the discrete-event fleet: per-edge :class:`SharedModelCache`
+instances (sessions shard across them by id) in front of one unbounded
+origin shield, with configurable edge admission
+(:data:`ADMISSION_POLICIES`) and an origin-offload metric.  Sessions
+bind to an edge through :class:`EdgeBinding`/:class:`HierarchySession`,
+which speak the same duck-typed protocol as :class:`CacheSession` — the
+client never learns the hierarchy exists.  Unlike the flat shared cache,
+the hierarchy's composite hit-then-fetch path assumes the fleet's
+single-threaded event loop (individual tier operations stay locked, but
+cross-tier sequences are not atomic).
 """
 
 from __future__ import annotations
@@ -35,7 +47,15 @@ from typing import Callable, Generic, TypeVar
 
 from ..core.cache import CacheStats
 
-__all__ = ["SharedModelCache", "CacheSession"]
+__all__ = [
+    "SharedModelCache",
+    "CacheSession",
+    "ADMISSION_POLICIES",
+    "HierarchyStats",
+    "CacheHierarchy",
+    "EdgeBinding",
+    "HierarchySession",
+]
 
 M = TypeVar("M")
 
@@ -107,6 +127,24 @@ class SharedModelCache(Generic[M]):
         model = self._get(label, fetch, stats, pin=True)
         self.release(label)
         return model
+
+    def put(self, label: int, model: M, pin: bool = False) -> None:
+        """Insert an externally fetched model (no hit/download counted).
+
+        The CDN hierarchy uses this to admit a model at an edge after the
+        requesting session already paid for the fetch — accounting for
+        that download belongs to the caller, not to this store.  With
+        ``pin=True`` the entry is refcount-pinned exactly as by
+        :meth:`acquire` and must be balanced by :meth:`release`.
+        """
+        with self._lock:
+            entry = self._store.get(label)
+            if entry is None:
+                entry = self._store[label] = _Entry(model)
+            if pin:
+                entry.refcount += 1
+            self._store.move_to_end(label)
+            self._evict_over_capacity()
 
     def refcount(self, label: int) -> int:
         with self._lock:
@@ -238,3 +276,245 @@ class CacheSession(Generic[M]):
 
     def __contains__(self, label: int) -> bool:
         return label in self.shared
+
+
+# --------------------------------------------------------------------------
+# Two-tier CDN hierarchy: per-edge caches in front of one origin tier.
+
+#: Accepted values of :attr:`CacheHierarchy` ``admission``.
+ADMISSION_POLICIES = ("always", "second-hit", "size-aware")
+
+
+@dataclass
+class HierarchyStats:
+    """Fleet-wide request accounting across the cache hierarchy.
+
+    Every session request is exactly one of: an **edge hit** (served from
+    the session's edge cache, zero bytes for the session), a **download**
+    (edge miss — the session pays the fetch over its own link), or a
+    **failed fetch**.  Downloads are further split by what the *origin*
+    saw: an ``origin_hit`` means the origin's shield cache already held
+    the label (another edge pulled it earlier — no origin-storage read),
+    an ``origin_fetch`` is a cold read from origin storage.
+    """
+
+    requests: int = 0
+    edge_hits: int = 0
+    origin_hits: int = 0
+    origin_fetches: int = 0
+    admitted: int = 0           # edge-miss models stored at the edge
+    denied: int = 0             # edge-miss models the policy kept out
+    failed_fetches: int = 0
+
+    @property
+    def downloads(self) -> int:
+        return self.origin_hits + self.origin_fetches
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from an edge (session paid nothing)."""
+        return self.edge_hits / self.requests if self.requests else 0.0
+
+    @property
+    def origin_offload(self) -> float:
+        """Fraction of requests that never read origin storage.
+
+        The CDN health metric: edge hits plus shield hits over all
+        requests.  Rises with fleet size as edges and the shield warm up.
+        """
+        if not self.requests:
+            return 0.0
+        return 1.0 - self.origin_fetches / self.requests
+
+
+class CacheHierarchy(Generic[M]):
+    """Per-edge :class:`SharedModelCache` tier in front of an origin tier.
+
+    Sessions are sharded across ``edges`` edge caches by
+    ``session_id % edges``; sessions on the same edge amortize each
+    other's model downloads exactly as with the flat
+    :class:`SharedModelCache` (an edge hit costs the session nothing).
+    An edge *miss* makes the requesting session download the model over
+    its own simulated link, and the origin tier — an unbounded shield
+    cache shared by every edge — records whether origin storage was read
+    (cold fetch) or the label was already shielded by another edge's
+    earlier pull.
+
+    ``admission`` controls whether an edge-missed model is *stored* at
+    the edge afterwards:
+
+    - ``"always"`` — classic insert-on-miss (the flat-cache behaviour);
+    - ``"second-hit"`` — store only on a label's second request at that
+      edge, keeping one-hit wonders from evicting popular models;
+    - ``"size-aware"`` — store only models no larger than
+      ``admit_bytes`` (default: the mean model size), keeping a few
+      oversized models from flushing a small edge.
+
+    With ``edges=1`` and ``admission="always"`` the hierarchy reduces to
+    the flat shared cache: same hits, same downloads, same bytes.
+
+    Parameters
+    ----------
+    edges:
+        Number of edge caches.
+    edge_capacity:
+        LRU bound per edge (``None`` = unbounded).
+    admission:
+        One of :data:`ADMISSION_POLICIES`.
+    model_sizes:
+        ``label -> bytes`` map (the manifest's); required semantics only
+        for ``size-aware``.
+    admit_bytes:
+        Size-aware threshold; defaults to the mean of ``model_sizes``.
+    """
+
+    def __init__(self, edges: int = 1, edge_capacity: int | None = None,
+                 admission: str = "always",
+                 model_sizes: dict[int, int] | None = None,
+                 admit_bytes: float | None = None):
+        if edges < 1:
+            raise ValueError(f"edges must be >= 1, got {edges}")
+        if admission not in ADMISSION_POLICIES:
+            raise ValueError(f"admission must be one of "
+                             f"{ADMISSION_POLICIES}, got {admission!r}")
+        if admission == "size-aware" and not model_sizes \
+                and admit_bytes is None:
+            raise ValueError("size-aware admission needs model_sizes "
+                             "or an explicit admit_bytes")
+        self.admission = admission
+        self.edges: list[SharedModelCache[M]] = [
+            SharedModelCache(capacity=edge_capacity) for _ in range(edges)]
+        self.origin: SharedModelCache[M] = SharedModelCache()
+        self.model_sizes = dict(model_sizes or {})
+        if admit_bytes is None and self.model_sizes:
+            admit_bytes = (sum(self.model_sizes.values())
+                           / len(self.model_sizes))
+        self.admit_bytes = admit_bytes
+        self._edge_requests: list[dict[int, int]] = [
+            {} for _ in range(edges)]
+        self._lock = threading.Lock()
+        self.stats = HierarchyStats()
+
+    def edge_for(self, session_id: int) -> "EdgeBinding[M]":
+        """The edge serving ``session_id`` (sharded by id modulo edges)."""
+        return EdgeBinding(self, session_id % len(self.edges))
+
+    @property
+    def evictions(self) -> int:
+        return sum(edge.stats.evictions for edge in self.edges)
+
+    def _admit(self, edge_index: int, label: int) -> bool:
+        """Should an edge-missed ``label`` be stored at this edge?
+        (Lock held; the per-edge request count is already bumped.)"""
+        if self.admission == "always":
+            return True
+        if self.admission == "second-hit":
+            return self._edge_requests[edge_index].get(label, 0) >= 2
+        size = self.model_sizes.get(label)
+        return size is None or self.admit_bytes is None \
+            or size <= self.admit_bytes
+
+
+class EdgeBinding(Generic[M]):
+    """One edge of a :class:`CacheHierarchy`, bound for a session group.
+
+    Duck-typed to the ``model_cache`` argument of
+    :class:`~repro.core.client.DcsrClient` (exposes ``session(fetch)``),
+    so the fleet can hand a client its edge without the client knowing
+    the hierarchy exists.
+    """
+
+    def __init__(self, hierarchy: CacheHierarchy[M], edge_index: int):
+        self.hierarchy = hierarchy
+        self.edge_index = edge_index
+
+    def session(self, fetch: Callable[[int], M]) -> "HierarchySession[M]":
+        return HierarchySession(self.hierarchy, self.edge_index, fetch)
+
+
+class HierarchySession(Generic[M]):
+    """One session's view of a :class:`CacheHierarchy` edge.
+
+    Same ``acquire``/``release``/``get``/``stats`` protocol as
+    :class:`CacheSession`: per-session stats count this session's edge
+    hits and the downloads *it* paid for.  Pins are tracked per label so
+    ``release`` unpins the edge entry only when the model was actually
+    admitted there.
+    """
+
+    def __init__(self, hierarchy: CacheHierarchy[M], edge_index: int,
+                 fetch: Callable[[int], M]):
+        self.hierarchy = hierarchy
+        self.edge_index = edge_index
+        self._fetch = fetch
+        self.stats = CacheStats()
+        #: label -> stack of True (edge-pinned) / False (unpinned) flags,
+        #: one per outstanding acquire.
+        self._pins: dict[int, list[bool]] = {}
+
+    def acquire(self, label: int) -> M:
+        h = self.hierarchy
+        edge = h.edges[self.edge_index]
+        with h._lock:
+            h.stats.requests += 1
+            counts = h._edge_requests[self.edge_index]
+            counts[label] = counts.get(label, 0) + 1
+        if label in edge:
+            model = edge.acquire(label, fetch=_hit_only, stats=self.stats)
+            with h._lock:
+                h.stats.edge_hits += 1
+            self._pins.setdefault(label, []).append(True)
+            return model
+        # Edge miss: this session downloads over its own link (the fetch
+        # charges its simulated network and byte counters).  The origin
+        # tier only *accounts* for what the backbone saw — shield hit or
+        # cold storage read — it never spares the session the transfer.
+        try:
+            model = self._fetch(label)
+        except Exception:
+            with h._lock:
+                h.stats.failed_fetches += 1
+            self.stats.failed_fetches += 1
+            raise
+        with h._lock:
+            shielded = label in h.origin
+            if shielded:
+                h.stats.origin_hits += 1
+            else:
+                h.stats.origin_fetches += 1
+            admitted = h._admit(self.edge_index, label)
+            if admitted:
+                h.stats.admitted += 1
+            else:
+                h.stats.denied += 1
+        h.origin.put(label, model)
+        if admitted:
+            edge.put(label, model, pin=True)
+        self.stats.downloads += 1
+        self.stats.downloaded_labels.append(label)
+        self._pins.setdefault(label, []).append(admitted)
+        return model
+
+    def release(self, label: int) -> None:
+        stack = self._pins.get(label)
+        if not stack:
+            raise ValueError(f"release of unpinned cache entry {label}")
+        pinned_at_edge = stack.pop()
+        if not stack:
+            del self._pins[label]
+        if pinned_at_edge:
+            self.hierarchy.edges[self.edge_index].release(label)
+
+    def get(self, label: int) -> M:
+        model = self.acquire(label)
+        self.release(label)
+        return model
+
+    def __contains__(self, label: int) -> bool:
+        return label in self.hierarchy.edges[self.edge_index]
+
+
+def _hit_only(label: int):
+    raise AssertionError(
+        f"edge cache fetch for {label} on a hit path — the hierarchy "
+        "performs all fetches itself")

@@ -70,22 +70,22 @@ class TestDeterminism:
     def test_process_pool_bit_identical(self, tiny_clip, serial_package):
         pooled = build_package(tiny_clip, tiny_config(
             parallel=ParallelConfig(workers=2, backend="process",
-                                    chunk_size=2)))
+                                    chunk_size=2, auto_calibrate=False)))
         assert_identical_packages(serial_package, pooled)
 
     def test_thread_pool_bit_identical(self, tiny_clip, serial_package):
         pooled = build_package(tiny_clip, tiny_config(
             parallel=ParallelConfig(workers=3, backend="thread",
-                                    chunk_size=2)))
+                                    chunk_size=2, auto_calibrate=False)))
         assert_identical_packages(serial_package, pooled)
 
     def test_worker_count_does_not_matter(self, tiny_clip):
         two = build_package(tiny_clip, tiny_config(
             parallel=ParallelConfig(workers=2, backend="thread",
-                                    chunk_size=2)))
+                                    chunk_size=2, auto_calibrate=False)))
         four = build_package(tiny_clip, tiny_config(
             parallel=ParallelConfig(workers=4, backend="thread",
-                                    chunk_size=2)))
+                                    chunk_size=2, auto_calibrate=False)))
         assert_identical_packages(two, four)
 
 
@@ -114,8 +114,50 @@ class TestParallelConfig:
 
     def test_workers_none_resolves_to_cpu_count(self):
         import os
-        config = ParallelConfig(backend="process")
+        config = ParallelConfig(backend="process", auto_calibrate=False)
         assert config.resolve_workers() == (os.cpu_count() or 1)
+
+
+class TestAutoCalibration:
+    """Honesty gate: a pool that cannot win must not *report* a pool.
+
+    ``parallel_build.json`` once published "process x2" rows measured on
+    a single-core host — speedups structurally <= 1.0x.  With
+    ``auto_calibrate`` (the default) such a config runs and reports
+    serial; forcing the pool remains possible for mechanics tests.
+    """
+
+    def _patch_cores(self, monkeypatch, n):
+        import repro.core.parallel as parallel_mod
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: n)
+
+    def test_single_core_host_calibrates_to_serial(self, monkeypatch):
+        self._patch_cores(monkeypatch, 1)
+        config = ParallelConfig(workers=2, backend="process")
+        assert config.effective_backend() == "serial"
+        assert config.resolve_workers() == 1
+        assert not config.is_parallel
+
+    def test_multi_core_host_keeps_the_pool(self, monkeypatch):
+        self._patch_cores(monkeypatch, 4)
+        config = ParallelConfig(workers=2, backend="process")
+        assert config.effective_backend() == "process"
+        assert config.resolve_workers() == 2
+
+    def test_opt_out_forces_the_pool(self, monkeypatch):
+        self._patch_cores(monkeypatch, 1)
+        config = ParallelConfig(workers=2, backend="thread",
+                                auto_calibrate=False)
+        assert config.effective_backend() == "thread"
+        assert config.resolve_workers() == 2
+
+    def test_calibrated_build_reports_serial(self, tiny_clip, monkeypatch):
+        self._patch_cores(monkeypatch, 1)
+        package = build_package(tiny_clip, tiny_config(
+            parallel=ParallelConfig(workers=2, backend="process",
+                                    chunk_size=2)))
+        assert package.telemetry.backend == "serial"
+        assert package.telemetry.workers == 1
 
 
 class TestErrorPropagation:
@@ -128,8 +170,8 @@ class TestErrorPropagation:
         monkeypatch.setattr(server_mod, "train_sr", failing_train)
         with pytest.raises(ClusterTrainingError, match="cluster 0"):
             build_package(tiny_clip, tiny_config(
-                parallel=ParallelConfig(workers=2, backend=backend,
-                                        chunk_size=2)))
+                parallel=ParallelConfig(workers=2, backend=backend, chunk_size=2,
+                                        auto_calibrate=False)))
 
     def test_error_label_attribute(self, tiny_clip, monkeypatch):
         monkeypatch.setattr(
@@ -137,8 +179,8 @@ class TestErrorPropagation:
             lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom")))
         with pytest.raises(ClusterTrainingError) as excinfo:
             build_package(tiny_clip, tiny_config(
-                parallel=ParallelConfig(workers=2, backend="thread",
-                                        chunk_size=2)))
+                parallel=ParallelConfig(workers=2, backend="thread", chunk_size=2,
+                                        auto_calibrate=False)))
         assert excinfo.value.label == 0
         assert isinstance(excinfo.value.__cause__, RuntimeError)
 
@@ -171,7 +213,7 @@ class TestTelemetry:
     def test_parallel_metadata(self, tiny_clip):
         package = build_package(tiny_clip, tiny_config(
             parallel=ParallelConfig(workers=2, backend="thread",
-                                    chunk_size=2)))
+                                    chunk_size=2, auto_calibrate=False)))
         telemetry = package.telemetry
         assert telemetry.backend == "thread"
         assert telemetry.workers == 2

@@ -70,7 +70,8 @@ class TestCacheHits:
     def test_hits_bypass_the_pool_too(self, tiny_clip, tmp_path):
         build_package(tiny_clip, cached_config(tmp_path))
         warm = build_package(tiny_clip, cached_config(
-            tmp_path, parallel=ParallelConfig(workers=2, backend="process")))
+            tmp_path, parallel=ParallelConfig(workers=2, backend="process",
+                                              auto_calibrate=False)))
         assert warm.telemetry.cache_hits == warm.n_models
         assert warm.telemetry.cache_misses == 0
 

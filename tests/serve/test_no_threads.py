@@ -1,0 +1,71 @@
+"""Static guard: the serving layer stays on the discrete-event core.
+
+The fleet's determinism contract (same seed ⇒ bit-identical event order
+and telemetry) holds because nothing in ``src/repro/serve/`` runs on OS
+threads: sessions are event-loop processes, and simultaneous events tie
+break by schedule order, not by the thread scheduler.  This test walks
+the package's ASTs and fails on any code that would reintroduce
+thread-based execution — ``threading.Thread``, thread pools, or timer
+threads.  Synchronization primitives (``threading.Lock`` and friends)
+remain allowed: they keep the shared caches/pool safe for *callers* that
+are threaded (e.g. a prefetching client), without the serve layer itself
+spawning anything.
+"""
+
+import ast
+from pathlib import Path
+
+import repro.serve
+
+SERVE_DIR = Path(repro.serve.__file__).parent
+
+#: Names that execute code on another thread.  ``threading.Lock`` /
+#: ``Condition`` / ``Event`` / ``local`` are deliberately absent.
+BANNED = {
+    ("threading", "Thread"),
+    ("threading", "Timer"),
+    ("concurrent.futures", "ThreadPoolExecutor"),
+    ("concurrent.futures", "ProcessPoolExecutor"),
+}
+BANNED_ATTRS = {name for _, name in BANNED}
+
+
+def _violations(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out = []
+    for node in ast.walk(tree):
+        # from threading import Thread / from concurrent.futures import ...
+        if isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                if (node.module, alias.name) in BANNED:
+                    out.append(f"{path.name}:{node.lineno} imports "
+                               f"{node.module}.{alias.name}")
+        # threading.Thread(...) / futures.ThreadPoolExecutor(...)
+        if isinstance(node, ast.Attribute) and node.attr in BANNED_ATTRS:
+            out.append(f"{path.name}:{node.lineno} uses .{node.attr}")
+    return out
+
+
+def test_serve_layer_spawns_no_threads():
+    sources = sorted(SERVE_DIR.glob("*.py"))
+    assert sources, f"no sources under {SERVE_DIR}"
+    problems = [v for src in sources for v in _violations(src)]
+    assert not problems, (
+        "thread-based execution is banned in repro.serve "
+        "(sessions must run on the EventLoop):\n  " + "\n  ".join(problems))
+
+
+def test_guard_catches_a_thread_spawn(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import threading\n"
+                   "t = threading.Thread(target=print)\n")
+    assert _violations(bad)
+
+    also_bad = tmp_path / "bad2.py"
+    also_bad.write_text(
+        "from concurrent.futures import ThreadPoolExecutor\n")
+    assert _violations(also_bad)
+
+    fine = tmp_path / "fine.py"
+    fine.write_text("import threading\nlock = threading.Lock()\n")
+    assert not _violations(fine)

@@ -95,7 +95,12 @@ class TestPrepareParallel:
                    "--train-cache", str(cache)])
         assert rc == 0
         first = capsys.readouterr().out
-        assert "build stages (process x2):" in first
+        # The reported backend self-calibrates to the host: a pool is
+        # requested, but a single-core machine runs (and reports) serial.
+        from repro.core import ParallelConfig
+        requested = ParallelConfig(workers=2, backend="process")
+        assert (f"build stages ({requested.effective_backend()} "
+                f"x{requested.resolve_workers()}):") in first
         assert "train" in first
         assert "hits" in first
         assert list(cache.glob("*.npz"))
