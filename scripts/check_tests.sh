@@ -16,6 +16,9 @@
 #     discrete-event loop (tests/serve/test_no_threads.py is the
 #     authoritative AST-level check; the grep here is a fast first line
 #     that also catches files pytest cannot import).
+#   - no quantized kernels in the training path (optimizer, SR trainer,
+#     gradient checker, losses) — quantization is inference-only; the
+#     AST-level check is tests/nn/test_no_quant_in_training.py.
 #
 # --strict-markers turns any unregistered @pytest.mark.<name> into a
 # collection error, so a typo'd tier mark cannot silently drop a test
@@ -39,6 +42,15 @@ run_guards() {
         exit 1
     fi
     echo "ok: no thread spawning in src/repro/serve/"
+    if grep -nE 'quantize_conv_weight|QuantizedConvWeight|conv2d_(gemm|shift_nhwc)_quant' \
+            src/repro/nn/optim.py src/repro/nn/gradcheck.py \
+            src/repro/nn/losses.py src/repro/sr/trainer.py; then
+        echo "error: quantized kernels referenced from the training path" >&2
+        echo "       (quantization is inference-only;" >&2
+        echo "       see tests/nn/test_no_quant_in_training.py)" >&2
+        exit 1
+    fi
+    echo "ok: no quantized kernels in the training path"
 }
 
 run_tier1() {
@@ -47,7 +59,7 @@ run_tier1() {
     python -m pytest -x -q --strict-markers -m "not tier2 and not timing"
     echo "== tier 1: executable docs =="
     python -m pytest -x -q --strict-markers tests/test_docs.py \
-        tests/serve/test_no_threads.py
+        tests/serve/test_no_threads.py tests/nn/test_no_quant_in_training.py
 }
 
 run_tier2() {

@@ -1,6 +1,13 @@
 """Benchmark harness: canonical workloads and result printers."""
 
-from .runner import cdf_points, format_table, print_series, print_table, save_results
+from .runner import (
+    cdf_points,
+    format_table,
+    load_results,
+    print_series,
+    print_table,
+    save_results,
+)
 from .workloads import (
     CORPUS_GENRES,
     CorpusSpec,
@@ -16,6 +23,7 @@ __all__ = [
     "print_series",
     "cdf_points",
     "save_results",
+    "load_results",
     "CORPUS_GENRES",
     "CorpusSpec",
     "corpus_spec",

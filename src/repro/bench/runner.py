@@ -106,6 +106,20 @@ def save_results(name: str, payload: dict, directory: str | Path = "bench_result
     return path
 
 
+def load_results(name: str,
+                 directory: str | Path = "bench_results") -> dict | None:
+    """Read back a previously saved result file, or ``None`` if absent.
+
+    Lets a benchmark *extend* another benchmark's JSON (several sections,
+    one file) instead of clobbering it with the last writer's payload.
+    """
+    path = Path(directory) / f"{name}.json"
+    if not path.exists():
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
 def _json_default(obj):
     import numpy as np
     if isinstance(obj, (np.integer,)):

@@ -92,6 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
     play.add_argument("--prefetch", type=int, default=None, metavar="N",
                       help="segments to download+decode ahead of SR "
                            "(fast path; default 0 = serial)")
+    play.add_argument("--precision", choices=("fp32", "fp16", "int8"),
+                      default=None,
+                      help="SR kernel precision (fast path; quantized "
+                           "kernels also shrink model downloads when the "
+                           "manifest carries calibration records)")
+    play.add_argument("--skip-gate", type=float, default=None,
+                      metavar="VAR",
+                      help="route SR tiles whose luma variance is below "
+                           "VAR to bicubic upscaling (fast path; default "
+                           "off = bitwise-identical output)")
+    play.add_argument("--sr-batch", type=int, default=None, metavar="N",
+                      help="decode N segments concurrently and merge "
+                           "their I-frames into one batched GEMM (fast "
+                           "path; needs --prefetch >= 1; default 1)")
     play.add_argument("--trace-out", default=None, metavar="FILE",
                       help="write the session's span tree as JSON")
     play.add_argument("--metrics-out", default=None, metavar="FILE",
@@ -254,6 +268,16 @@ def _cmd_info(args) -> int:
     print(f"labels:   {labels}")
     print(f"caching:  {stats.downloads} downloads, {stats.hits} hits "
           f"({stats.hit_rate:.0%} hit rate)")
+    if manifest.quantization:
+        print("quantized checkpoints (calibrated at build time):")
+        for label in sorted(manifest.quantization):
+            for precision, record in sorted(
+                    manifest.quantization[label].items()):
+                fp32_bytes = manifest.model_sizes[label]
+                print(f"  model {label} {precision}: "
+                      f"{record.size_bytes / 1024:.1f} KiB "
+                      f"({record.size_bytes / fp32_bytes:.2f}x of fp32), "
+                      f"delta {record.delta_db:+.3f} dB")
     return 0
 
 
@@ -276,10 +300,14 @@ def _cmd_play(args) -> int:
             bandwidth_bps=args.bandwidth, seed=args.net_seed))
     fast = None
     if (args.tile is not None or args.sr_threads is not None
-            or args.prefetch is not None):
+            or args.prefetch is not None or args.precision is not None
+            or args.skip_gate is not None or args.sr_batch is not None):
         fast = FastPathConfig(tile=args.tile,
                               sr_threads=args.sr_threads or 1,
-                              prefetch=args.prefetch or 0)
+                              prefetch=args.prefetch or 0,
+                              precision=args.precision or "fp32",
+                              skip_gate=args.skip_gate,
+                              sr_batch=args.sr_batch or 1)
     from .obs import Observability
 
     client = DcsrClient(package, network=network,

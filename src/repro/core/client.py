@@ -43,6 +43,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..nn.functional import PRECISIONS
 from ..obs import Observability, SimulatedClock
 from ..sr.edsr import EDSR
 from ..sr.engine import InferenceEngine
@@ -114,12 +115,54 @@ class FastPathConfig:
         first enhanced frame (one extra reference inference, excluded
         from stage accounting) and report it as
         ``PlaybackTelemetry.fast_path_speedup``.
+    precision:
+        SR kernel precision: ``fp32`` (default, bitwise-identical to the
+        reference forward), ``fp16`` (half-rounded operands, fp32
+        accumulate), or ``int8`` (per-output-channel symmetric weight
+        quantization).  Reduced precisions also shrink the model bytes a
+        session downloads — accounting uses the manifest's
+        :meth:`~repro.core.manifest.VideoManifest.model_size_for`.
+    skip_gate:
+        Optional per-tile variance gate: a
+        :class:`~repro.sr.engine.SkipGateConfig` (or a bare threshold
+        float) that routes low-detail tiles to bicubic upscaling instead
+        of the model.  ``None`` (default) disables the gate entirely —
+        output stays bitwise identical to the ungated engine.
+    sr_batch:
+        Number of segment pipeline workers.  1 (default) keeps the
+        single-worker prefetch pipeline.  ``> 1`` (requires
+        ``prefetch >= 1``) decodes up to ``sr_batch`` segments
+        concurrently, and their co-pending I-frames merge into one
+        batched GEMM call through a session-local
+        :class:`~repro.serve.BatchingInferenceEngine` — same mechanism
+        the fleet simulator uses across sessions, applied inside one.
+        Downloads stay serialized in segment order, so the simulated
+        network consumes its schedule exactly as the serial client does.
     """
 
     tile: int | None = None
     sr_threads: int = 1
     prefetch: int = 0
     calibrate: bool = True
+    precision: str = "fp32"
+    skip_gate: object | None = None
+    sr_batch: int = 1
+
+    def __post_init__(self):
+        if self.precision not in PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {PRECISIONS}, "
+                f"got {self.precision!r}")
+        if isinstance(self.skip_gate, (int, float)) \
+                and not isinstance(self.skip_gate, bool) \
+                and self.skip_gate < 0:
+            raise ValueError(
+                f"skip_gate threshold must be >= 0, got {self.skip_gate}")
+        if self.sr_batch < 1:
+            raise ValueError(f"sr_batch must be >= 1, got {self.sr_batch}")
+        if self.sr_batch > 1 and self.prefetch < 1:
+            raise ValueError(
+                "sr_batch > 1 needs the pipeline: set prefetch >= 1")
 
 
 class PlayoutClock:
@@ -173,6 +216,7 @@ class SegmentPlayback:
     sr_s: float = 0.0
     color_s: float = 0.0
     sr_tiles: int = 0
+    sr_skipped_tiles: int = 0
     sr_flops: float = 0.0
 
 
@@ -205,6 +249,9 @@ class PlaybackTelemetry:
     cache_hit_rate: float = 0.0
     #: SR tiles executed across the session (0 = whole-frame / no fast path).
     tile_count: int = 0
+    #: Tiles the variance gate routed to bicubic instead of the model
+    #: (0 unless a :attr:`FastPathConfig.skip_gate` is set).
+    skipped_tiles: int = 0
     #: Effective SR throughput: model FLOPs divided by measured SR seconds.
     sr_gflops: float = 0.0
     #: Simulated playout seconds saved by pipelining download of segment
@@ -252,8 +299,10 @@ class PlaybackTelemetry:
                      f"cache hit rate {self.cache_hit_rate:.0%}")
         if self.tile_count or self.fast_path_speedup \
                 or self.prefetch_overlap_seconds:
+            skipped = f" ({self.skipped_tiles} gated to bicubic)" \
+                if self.skipped_tiles else ""
             lines.append(
-                f"  fastpath   {self.tile_count} tiles, "
+                f"  fastpath   {self.tile_count} tiles{skipped}, "
                 f"{self.sr_gflops:.2f} GFLOP/s, "
                 f"{self.fast_path_speedup:.1f}x vs reference, "
                 f"overlap {self.prefetch_overlap_seconds:.3f}s")
@@ -405,6 +454,7 @@ class DcsrClient:
             else SimulatedClock()
         self._session = None
         self._engines: dict[int, InferenceEngine] = {}
+        self._batcher = None
         self._speedup_sample = 0.0
         self._model_bytes = 0
         self._fetch_seconds = 0.0
@@ -418,7 +468,16 @@ class DcsrClient:
         models are never mutated and concurrent sessions stay independent.
         An injected ``engine_provider`` (cross-session batching) takes
         precedence over the private per-session engine.
+
+        With ``sr_batch > 1`` the engine (an adapter onto the session's
+        batcher, or the injected provider's product) is built fresh per
+        call instead of cached: adapters carry per-call ``stats``, so
+        concurrent decode workers must not share one.
         """
+        if self._fast is not None and self._fast.sr_batch > 1:
+            if self._engine_provider is not None:
+                return self._engine_provider(model)
+            return self._batcher.engine_for(model)
         engine = self._engines.get(id(model))
         if engine is None:
             if self._engine_provider is not None:
@@ -426,7 +485,9 @@ class DcsrClient:
             else:
                 engine = InferenceEngine(model, tile=self._fast.tile,
                                          threads=self._fast.sr_threads,
-                                         obs=self.obs)
+                                         obs=self.obs,
+                                         precision=self._fast.precision,
+                                         skip_gate=self._fast.skip_gate)
             self._engines[id(model)] = engine
         return engine
 
@@ -434,7 +495,15 @@ class DcsrClient:
         model = self.package.models.get(label)
         if model is None:
             raise KeyError(f"manifest references missing model {label}")
-        size = self.package.manifest.model_sizes[label]
+        # A reduced-precision session downloads the quantized checkpoint:
+        # fewer bytes if (and only if) the manifest carries a calibrated
+        # record for that precision — otherwise the fp32 size is charged.
+        precision = self._fast.precision if self._fast is not None else "fp32"
+        manifest = self.package.manifest
+        if hasattr(manifest, "model_size_for"):
+            size = manifest.model_size_for(label, precision)
+        else:
+            size = manifest.model_sizes[label]
         if self._network is not None:
             seconds, attempts = download_with_retry(
                 self._network, self._retry, "model", label, size)
@@ -479,6 +548,7 @@ class DcsrClient:
         self._model_bytes = 0
         self._speedup_sample = 0.0
         self._engines = {}
+        self._batcher = None
         fps = package.encoded.fps
         telemetry = PlaybackTelemetry(native_fps=fps, obs=self.obs)
         result.telemetry = telemetry
@@ -491,7 +561,22 @@ class DcsrClient:
         decoder = Decoder(
             hook_display_only=not package.manifest.enhance_in_loop)
         prefetch = self._fast.prefetch if self._fast is not None else 0
-        if prefetch > 0:
+        sr_batch = self._fast.sr_batch if self._fast is not None else 1
+        if sr_batch > 1:
+            if self._engine_provider is None:
+                # Session-local leader–follower batcher: the same merge
+                # machinery the fleet uses across sessions, scoped to
+                # this session's decode workers.  Imported lazily — the
+                # serve layer imports this module at load time.
+                from ..serve.batching import BatchingInferenceEngine
+                self._batcher = BatchingInferenceEngine(
+                    max_batch=sr_batch, max_wait_s=0.005,
+                    tile=self._fast.tile, threads=self._fast.sr_threads,
+                    obs=self.obs, precision=self._fast.precision,
+                    skip_gate=self._fast.skip_gate)
+            inner = self._iter_batched(reference_frames, result, telemetry,
+                                       prefetch, sr_batch)
+        elif prefetch > 0:
             inner = self._iter_prefetch(decoder, reference_frames, result,
                                         telemetry, prefetch)
         else:
@@ -647,6 +732,163 @@ class DcsrClient:
                     pass
                 worker.join(timeout=0.05)
 
+    def _iter_batched(self, reference_frames, result: PlaybackResult,
+                      telemetry: PlaybackTelemetry, prefetch: int,
+                      sr_batch: int) -> Iterator[PlayedFrame]:
+        """Multi-worker pipeline (``sr_batch > 1``): up to ``sr_batch``
+        segments decode concurrently, each on its own worker with a
+        private :class:`~repro.video.codec.Decoder`, and their co-pending
+        I-frames merge into one batched GEMM through the session's
+        :class:`~repro.serve.BatchingInferenceEngine` (bitwise identical
+        per frame to the serial engine).
+
+        Determinism and ordering contract:
+
+        - Downloads (model acquire + segment fetch) are serialized in
+          segment order behind a turn counter, so the simulated network
+          consumes its latency/failure schedule exactly as the
+          single-worker pipeline does; only decode + SR overlap.
+        - Emission, concealment bookkeeping, quality scoring, and
+          ``telemetry.segments`` appends all happen on the consumer
+          (caller's) thread in segment order.
+        - At most ``prefetch + sr_batch`` segments of decoded frames are
+          resident at once (a counting semaphore: workers acquire a slot
+          before claiming a segment, the consumer releases it after
+          emitting).
+        - A worker error surfaces at its segment index: segments before
+          it emit normally, then the error re-raises here.
+
+        The playout clock reuses the pipelined recurrence with a window
+        of ``prefetch + sr_batch - 1`` queued segments; it still charges
+        each segment's decode+SR seconds serially (measured wall time
+        cannot be attributed across overlapping workers), so reported
+        stalls are conservative.
+        """
+        from ..video.codec import Decoder
+
+        package = self.package
+        fps = package.encoded.fps
+        held: list[YuvFrame | None] = [None]
+        pairs = list(zip(package.segments, package.encoded.segments))
+        n_segments = len(pairs)
+        hook_display_only = not package.manifest.enhance_in_loop
+
+        stop = threading.Event()
+        slots = threading.Semaphore(prefetch + sr_batch)
+        claim_lock = threading.Lock()
+        claim = [0]
+        turn_cv = threading.Condition()
+        turn = [0]
+        done_cv = threading.Condition()
+        done: dict[int, tuple] = {}
+        resident_lock = threading.Lock()
+        resident = [0]
+
+        def publish(index: int, item: tuple) -> None:
+            with done_cv:
+                done[index] = item
+                done_cv.notify_all()
+
+        def worker() -> None:
+            decoder = Decoder(hook_display_only=hook_display_only)
+            while not stop.is_set():
+                if not slots.acquire(timeout=0.05):
+                    continue            # re-check stop while queue is full
+                with claim_lock:
+                    index = claim[0]
+                    if index >= n_segments:
+                        slots.release()
+                        return
+                    claim[0] = index + 1
+                segment, encoded_segment = pairs[index]
+                seg_t = SegmentPlayback(index=segment.index,
+                                        n_frames=segment.n_frames)
+                try:
+                    with turn_cv:
+                        while turn[0] != index:
+                            if stop.is_set():
+                                return
+                            turn_cv.wait(0.05)
+                    try:
+                        model, have = self._fetch_stage(
+                            segment, encoded_segment, seg_t, result)
+                    finally:
+                        # Advance even on error so later turns never hang.
+                        with turn_cv:
+                            turn[0] = index + 1
+                            turn_cv.notify_all()
+                    decoded = self._decode_stage(
+                        segment, encoded_segment, seg_t, model, have,
+                        decoder)
+                except BaseException as exc:   # surfaced on main thread
+                    publish(index, ("err", exc, None, None))
+                    return
+                with resident_lock:
+                    resident[0] += len(decoded) if decoded else 0
+                publish(index, ("seg", segment, seg_t, decoded))
+
+        workers = [threading.Thread(target=worker, name=f"dcsr-sr-batch-{i}",
+                                    daemon=True) for i in range(sr_batch)]
+        for thread in workers:
+            thread.start()
+
+        dl_done = 0.0
+        comp_done = 0.0
+        serial_clock = 0.0
+        finish_times: list[float] = []
+        next_deadline: float | None = None
+        window = prefetch + sr_batch - 1
+
+        try:
+            for index in range(n_segments):
+                with done_cv:
+                    while index not in done:
+                        done_cv.wait(0.1)
+                        if index not in done \
+                                and not any(t.is_alive() for t in workers):
+                            raise RuntimeError(
+                                f"pipeline workers exited without "
+                                f"producing segment {index}")
+                    kind, segment, seg_t, decoded = done.pop(index)
+                if kind == "err":
+                    raise segment
+                telemetry.segments.append(seg_t)
+                if decoded is None:
+                    self._note_unplayable(segment, seg_t, result)
+                with resident_lock:
+                    telemetry.peak_resident_frames = max(
+                        telemetry.peak_resident_frames,
+                        resident[0]
+                        + (1 if (held[0] is not None or decoded is None)
+                           else 0))
+
+                i = len(finish_times)
+                gate = (finish_times[i - 1 - window]
+                        if i - 1 - window >= 0 else 0.0)
+                comp = seg_t.decode_s + seg_t.sr_s + seg_t.color_s
+                dl_done = max(dl_done, gate) + seg_t.download_s
+                comp_done = max(comp_done, dl_done) + comp
+                finish_times.append(comp_done)
+                serial_clock += seg_t.download_s + comp
+                telemetry.prefetch_overlap_seconds = serial_clock - comp_done
+                if next_deadline is None:
+                    telemetry.startup_seconds = comp_done
+                    next_deadline = comp_done
+                telemetry.stall_seconds += max(0.0, comp_done - next_deadline)
+                next_deadline = max(comp_done, next_deadline) \
+                    + segment.n_frames / fps
+
+                yield from self._emit_segment(segment, seg_t, decoded, held,
+                                              reference_frames, result)
+                with resident_lock:
+                    resident[0] -= len(decoded) if decoded else 0
+                slots.release()
+        finally:
+            stop.set()
+            for thread in workers:
+                while thread.is_alive():
+                    thread.join(timeout=0.05)
+
     # ------------------------------------------------------------------
     # Session internals.
 
@@ -656,17 +898,41 @@ class DcsrClient:
         """Stages 1-3 for one segment: model fetch, segment fetch, decode
         (with the SR hook in the loop).  Returns ``(seg_t, decoded)``;
         ``decoded is None`` means the segment must be concealed."""
-        from ..video.codec import DecodeError
-
-        package = self.package
         seg_t = SegmentPlayback(index=segment.index,
                                 n_frames=segment.n_frames)
         telemetry.segments.append(seg_t)
+        model, have = self._fetch_stage(segment, encoded_segment, seg_t,
+                                        result)
+        decoded = self._decode_stage(segment, encoded_segment, seg_t,
+                                     model, have, decoder)
+        if decoded is None:
+            self._note_unplayable(segment, seg_t, result)
+        return seg_t, decoded
 
+    def _fetch_stage(self, segment, encoded_segment,
+                     seg_t: SegmentPlayback, result: PlaybackResult):
+        """Stages 1-2: model acquire + segment download.
+
+        Touches the network and the session's fetch accounting, so in a
+        multi-worker pipeline (``sr_batch > 1``) calls MUST be serialized
+        in segment order — the simulated network consumes a deterministic
+        schedule.  Returns ``(model, have_payload)``.
+        """
         model = self._acquire_model(segment.index, seg_t, result)
+        have = self._fetch_segment(encoded_segment, seg_t, result)
+        return model, have
+
+    def _decode_stage(self, segment, encoded_segment,
+                      seg_t: SegmentPlayback, model, have: bool, decoder):
+        """Stage 3: decode with the SR hook in the loop; release the
+        model pin.  Thread-safe given a private ``decoder`` per caller —
+        decode workers run this concurrently."""
+        from ..video.codec import DecodeError
+
+        package = self.package
         decoded = None
         try:
-            if self._fetch_segment(encoded_segment, seg_t, result):
+            if have:
                 # Passthrough fallback decodes with no hook at all —
                 # bit-identical to the plain (LOW) decode.
                 decoder.i_frame_hook = (
@@ -692,15 +958,18 @@ class DcsrClient:
             if model is not None:
                 self._cache.release(
                     package.manifest.model_label_for(segment.index))
+        return decoded
 
-        if decoded is None:
-            if seg_t.status == "fallback":
-                # Superseded: none of its frames play, so the
-                # segment is concealed, not degraded-but-played.
-                result.fallback_segments.remove(segment.index)
-            seg_t.status = "concealed"
-            result.skipped_segments.append(segment.index)
-        return seg_t, decoded
+    @staticmethod
+    def _note_unplayable(segment, seg_t: SegmentPlayback,
+                         result: PlaybackResult) -> None:
+        """Record that none of ``segment``'s frames will play."""
+        if seg_t.status == "fallback":
+            # Superseded: none of its frames play, so the
+            # segment is concealed, not degraded-but-played.
+            result.fallback_segments.remove(segment.index)
+        seg_t.status = "concealed"
+        result.skipped_segments.append(segment.index)
 
     def _emit_segment(self, segment, seg_t: SegmentPlayback, decoded,
                       held: list, reference_frames,
@@ -859,6 +1128,7 @@ class DcsrClient:
                 sp.attrs["tiles"] = engine.stats.tile_count
                 sp.attrs["flops"] = engine.stats.flops
                 seg_t.sr_tiles += engine.stats.tile_count
+                seg_t.sr_skipped_tiles += engine.stats.skipped_tiles
                 seg_t.sr_flops += engine.stats.flops
             t2 = clock.now()
             out = rgb_to_yuv420(enhanced)
@@ -911,6 +1181,8 @@ class DcsrClient:
                       for k in ("decode", "sr", "color"))
         telemetry.achieved_fps = n_frames / max(compute, 1e-9)
         telemetry.tile_count = sum(s.sr_tiles for s in telemetry.segments)
+        telemetry.skipped_tiles = sum(s.sr_skipped_tiles
+                                      for s in telemetry.segments)
         sr_flops = sum(s.sr_flops for s in telemetry.segments)
         sr_seconds = telemetry.stage_seconds.get("sr", 0.0)
         if sr_flops and sr_seconds > 0.0:

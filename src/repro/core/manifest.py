@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["SegmentRecord", "VideoManifest"]
+__all__ = ["SegmentRecord", "QuantizationRecord", "VideoManifest"]
 
 
 @dataclass(frozen=True)
@@ -25,6 +25,30 @@ class SegmentRecord:
         return self.start + self.n_frames
 
 
+@dataclass(frozen=True)
+class QuantizationRecord:
+    """One model's calibration result for one reduced precision.
+
+    Produced by the build-time calibration pass
+    (:func:`repro.sr.quantize.calibrate_quantized`): ``size_bytes`` is what
+    a client downloading the quantized checkpoint transfers, and
+    ``delta_db`` is the measured PSNR cost on the model's own calibration
+    I-frames — ``PSNR(fp32 output) - PSNR(quantized output)`` against the
+    pristine reference, so positive means the quantized model is worse.
+    Scales themselves are *not* shipped: they derive deterministically
+    from the fp32 weights (``Conv2d.packed(precision)``), so a client that
+    downloaded the quantized checkpoint reconstructs identical kernels.
+    """
+
+    precision: str
+    size_bytes: int
+    delta_db: float
+
+    def __post_init__(self):
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+
+
 @dataclass
 class VideoManifest:
     """Everything a client needs to stream a dcSR-prepared video."""
@@ -36,6 +60,10 @@ class VideoManifest:
     crf: int
     segments: list[SegmentRecord] = field(default_factory=list)
     model_sizes: dict[int, int] = field(default_factory=dict)  # label -> bytes
+    #: label -> precision -> calibration record for the quantized variants
+    #: the server published (empty for packages built without calibration).
+    quantization: dict[int, dict[str, QuantizationRecord]] = \
+        field(default_factory=dict)
     #: Whether enhanced I frames are written back into the DPB so P/B frames
     #: inherit the enhancement.  The server validates this per video (on
     #: high-motion content, motion-misplaced enhancement detail can hurt
@@ -58,6 +86,16 @@ class VideoManifest:
                     f"segment {seg.index} starts at {seg.start}, expected "
                     f"{expected_start}")
             expected_start = seg.end
+        bad = set(self.quantization) - set(self.model_sizes)
+        if bad:
+            raise ValueError(
+                f"quantization records reference unknown model labels {bad}")
+        for label, records in self.quantization.items():
+            for precision, record in records.items():
+                if record.precision != precision:
+                    raise ValueError(
+                        f"quantization record for model {label} keyed "
+                        f"{precision!r} but carries {record.precision!r}")
 
     @property
     def n_segments(self) -> int:
@@ -75,6 +113,25 @@ class VideoManifest:
     def total_model_bytes(self) -> int:
         """Bytes of all micro models (each downloaded at most once)."""
         return sum(self.model_sizes.values())
+
+    def model_size_for(self, label: int, precision: str = "fp32") -> int:
+        """Download bytes for ``label`` at ``precision``.
+
+        Falls back to the fp32 size when the server published no quantized
+        variant for that precision — the client then downloads the full
+        checkpoint, so bandwidth accounting stays honest.
+        """
+        if precision != "fp32":
+            record = self.quantization.get(label, {}).get(precision)
+            if record is not None:
+                return record.size_bytes
+        return self.model_sizes[label]
+
+    def quant_delta_db(self, label: int, precision: str) -> float | None:
+        """The calibrated PSNR delta for ``label`` at ``precision``, or
+        ``None`` when no calibration record exists."""
+        record = self.quantization.get(label, {}).get(precision)
+        return None if record is None else record.delta_db
 
     def model_label_for(self, segment_index: int) -> int:
         for seg in self.segments:

@@ -38,7 +38,8 @@ BACKENDS = ("process", "thread", "serial")
 
 #: Stage names recorded in :attr:`BuildTelemetry.stage_seconds`, in
 #: pipeline order.
-BUILD_STAGES = ("split", "encode", "embed", "cluster", "train", "validate")
+BUILD_STAGES = ("split", "encode", "embed", "cluster", "train", "quantize",
+                "validate")
 
 
 @dataclass(frozen=True)

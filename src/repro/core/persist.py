@@ -27,7 +27,7 @@ import numpy as np
 from ..sr import EDSR, EdsrConfig, SrTrainConfig
 from ..video.codec import CodecConfig, EncodedSegment, EncodedVideo
 from ..video.segment import Segment
-from .manifest import SegmentRecord, VideoManifest
+from .manifest import QuantizationRecord, SegmentRecord, VideoManifest
 
 __all__ = ["StoredPackage", "TrainingCache", "save_package", "load_package"]
 
@@ -79,6 +79,14 @@ def save_package(package, root: str | Path) -> Path:
             for s in manifest.segments
         ],
         "model_sizes": {str(k): v for k, v in manifest.model_sizes.items()},
+        "quantization": {
+            str(label): {
+                precision: {"size_bytes": record.size_bytes,
+                            "delta_db": record.delta_db}
+                for precision, record in records.items()
+            }
+            for label, records in manifest.quantization.items()
+        },
         "model_configs": {
             str(label): {
                 "n_resblocks": model.config.n_resblocks,
@@ -189,6 +197,13 @@ def load_package(root: str | Path) -> StoredPackage:
         height=meta["height"], fps=meta["fps"], crf=meta["crf"],
         segments=[SegmentRecord(**s) for s in meta["segments"]],
         model_sizes={int(k): v for k, v in meta["model_sizes"].items()},
+        quantization={
+            int(label): {
+                precision: QuantizationRecord(precision=precision, **entry)
+                for precision, entry in records.items()
+            }
+            for label, records in meta.get("quantization", {}).items()
+        },
         enhance_in_loop=bool(meta.get("enhance_in_loop", True)),
     )
 

@@ -43,7 +43,9 @@ from ..sr import (
     EDSR,
     EdsrConfig,
     QUALITY_BIG_CONFIG,
+    QUANT_PRECISIONS,
     SrTrainConfig,
+    calibrate_quantized,
     train_sr,
     training_flops_estimate,
 )
@@ -57,7 +59,7 @@ from ..video.codec import (
     Encoder,
 )
 from ..video.segment import Segment
-from .manifest import SegmentRecord, VideoManifest
+from .manifest import QuantizationRecord, SegmentRecord, VideoManifest
 from .parallel import (
     BuildTelemetry,
     ClusterTrainingError,
@@ -103,6 +105,11 @@ class ServerConfig:
     #: DPB (in-loop propagation) beats display-only enhancement, and record
     #: the winner in the manifest.  Costs two simulated playbacks.
     validate_in_loop: bool = True
+    #: Reduced precisions to calibrate after training: for each micro model
+    #: the build measures the PSNR delta vs fp32 on the cluster's own
+    #: I-frames and records it (plus the quantized checkpoint size) in the
+    #: manifest.  Empty tuple skips the calibration stage entirely.
+    quantize_precisions: tuple[str, ...] = QUANT_PRECISIONS
     seed: int = 0
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     train_cache_dir: str | None = None
@@ -406,6 +413,15 @@ def _build_package(clip: VideoClip, config: ServerConfig,
     with stage_timer(telemetry, "train"):
         models = _train_models(config, labels, lq_i, hr_i, telemetry)
 
+    # Quantization calibration: measure, per model and precision, the PSNR
+    # cost of the reduced-precision kernels on the cluster's own I-frames
+    # and the quantized checkpoint's download size.
+    quantization: dict[int, dict[str, QuantizationRecord]] = {}
+    if config.quantize_precisions:
+        with stage_timer(telemetry, "quantize"):
+            quantization = _calibrate_models(config, labels, models,
+                                             lq_i, hr_i, telemetry)
+
     manifest = VideoManifest(
         video_name=clip.name, width=clip.width, height=clip.height,
         fps=clip.fps, crf=config.codec.crf,
@@ -417,6 +433,7 @@ def _build_package(clip: VideoClip, config: ServerConfig,
         ],
         model_sizes={label: model.size_bytes()
                      for label, model in models.items()},
+        quantization=quantization,
     )
     package = DcsrPackage(manifest=manifest, encoded=encoded, models=models,
                           features=features, selection=selection, vae=vae,
@@ -426,6 +443,34 @@ def _build_package(clip: VideoClip, config: ServerConfig,
         with stage_timer(telemetry, "validate"):
             package.manifest.enhance_in_loop = _validate_in_loop(package, clip)
     return package
+
+
+def _calibrate_models(
+    config: ServerConfig, labels: np.ndarray, models: dict[int, EDSR],
+    lq_i: np.ndarray, hr_i: np.ndarray, telemetry: BuildTelemetry,
+) -> dict[int, dict[str, QuantizationRecord]]:
+    """Per-model quantization calibration on each cluster's own I-frames."""
+    obs = telemetry.obs
+    quantization: dict[int, dict[str, QuantizationRecord]] = {}
+    for label, model in sorted(models.items()):
+        member = labels == label
+        with obs.tracer.span("calibrate_cluster", cluster=label):
+            results = calibrate_quantized(
+                model, lq_i[member], hr_i[member],
+                precisions=config.quantize_precisions)
+        quantization[label] = {
+            precision: QuantizationRecord(precision=precision,
+                                          size_bytes=r.size_bytes,
+                                          delta_db=r.delta_db)
+            for precision, r in results.items()
+        }
+        for precision, r in results.items():
+            obs.metrics.histogram(
+                "dcsr_quant_delta_db",
+                "Calibrated PSNR delta of quantized micro models (dB)",
+                buckets=(0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 1.0),
+            ).observe(max(0.0, r.delta_db))
+    return quantization
 
 
 def _validate_in_loop(package: DcsrPackage, clip: VideoClip) -> bool:

@@ -64,11 +64,22 @@ def startup_delay(
 
 
 def startup_comparison(package, big_model_bytes: int,
-                       bandwidth_bps: float) -> dict[str, float]:
-    """Startup delay of each method for one package at a given bandwidth."""
+                       bandwidth_bps: float,
+                       precision: str = "fp32") -> dict[str, float]:
+    """Startup delay of each method for one package at a given bandwidth.
+
+    ``precision`` sizes the first micro model a dcSR client downloads:
+    when the manifest carries a calibrated quantization record for it,
+    the smaller quantized checkpoint shortens dcSR's startup (NAS/NEMO
+    still ship their fp32 big model).
+    """
     first_segment = package.encoded.segments[0].n_bytes
     first_label = package.manifest.label_sequence()[0]
-    first_micro = package.manifest.model_sizes[first_label]
+    manifest = package.manifest
+    if hasattr(manifest, "model_size_for"):
+        first_micro = manifest.model_size_for(first_label, precision)
+    else:
+        first_micro = manifest.model_sizes[first_label]
     return {
         "NAS": startup_delay(bandwidth_bps, first_segment, big_model_bytes),
         "NEMO": startup_delay(bandwidth_bps, first_segment, big_model_bytes),

@@ -32,6 +32,7 @@ from .serialize import (
     load_state_dict,
     model_size_bytes,
     model_size_mb,
+    quantized_size_bytes,
     save_model,
     serialize_to_bytes,
     state_dict,
@@ -74,6 +75,7 @@ __all__ = [
     "load_model",
     "model_size_bytes",
     "model_size_mb",
+    "quantized_size_bytes",
     "serialize_to_bytes",
     "deserialize_from_bytes",
 ]

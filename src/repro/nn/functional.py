@@ -26,6 +26,12 @@ __all__ = [
     "pack_conv_weight",
     "conv2d_gemm",
     "conv2d_shift_nhwc",
+    "PRECISIONS",
+    "INT8_EXACT_ACC_BOUND",
+    "QuantizedConvWeight",
+    "quantize_conv_weight",
+    "conv2d_gemm_quant",
+    "conv2d_shift_nhwc_quant",
     "pixel_shuffle",
     "pixel_unshuffle",
     "pixel_shuffle_nhwc",
@@ -303,6 +309,184 @@ def conv2d_shift_nhwc(
                 acc += tmp
             first = False
     return _apply_epilogue(acc, packed.bias, relu, residual, res_scale,
+                           channel_axis=3)
+
+
+# ---------------------------------------------------------------------------
+# Quantized inference kernels.
+#
+# numpy has no int8 GEMM, so both reduced-precision paths run the actual
+# accumulation through the same float32 sgemm as the fp32 kernels — but on
+# operands constrained to the reduced-precision grid, which makes the
+# arithmetic *bit-exact* to what dedicated hardware kernels would produce:
+#
+# - ``fp16``: weights and activations are rounded to the nearest float16
+#   (round-to-nearest-even) and the products accumulate in float32.  Every
+#   float16 value is exactly representable in float32, so fp32 sgemm over
+#   fp16-rounded operands computes exactly the fp16-multiplicand /
+#   fp32-accumulator GEMM of tensor-core style mixed precision.
+# - ``int8``: weights use symmetric per-output-channel scales
+#   ``s[o] = max|w[o]| / 127`` and activations a dynamic per-tensor scale
+#   ``s_x = max|x| / 127``; both are rounded to integer codes in
+#   [-127, 127] stored as float32.  Products and partial sums are then
+#   integers, and float32 adds integers exactly while the running sum
+#   stays below 2^24 — guaranteed by requiring
+#   ``Cin*KH*KW * 127^2 < 2^24`` at quantization time (Cin*KH*KW <= 1040,
+#   ample for micro-EDSR's 3x3/16-filter convs).  The dequantized output
+#   ``acc * (s_x * s[o])`` is therefore bitwise what an int8xint8->int32
+#   kernel with per-channel dequant would return.
+#
+# Epilogues (bias, ReLU, res_scale, residual) run in float32 after the
+# dequant, in exactly the order of :func:`_apply_epilogue`, so residual
+# skip paths never lose precision.
+
+#: Precisions understood by ``Conv2d.packed`` / the inference engine.
+PRECISIONS = ("fp32", "fp16", "int8")
+
+#: Largest integer magnitude float32 carries exactly; the int8 reduction
+#: ``Cin*KH*KW * 127^2`` must stay strictly below it.
+INT8_EXACT_ACC_BOUND = 2 ** 24
+
+
+@dataclass(frozen=True)
+class QuantizedConvWeight:
+    """A conv kernel quantized for the reduced-precision GEMM path.
+
+    Operands are stored as float32 arrays constrained to the target
+    precision's grid (see the module comment above); ``scales`` carries the
+    per-output-channel dequantization factors for int8 (``None`` for fp16).
+    """
+
+    precision: str
+    #: ``(KH, KW, Cin, Cout)`` — per-tap matrices on the quantized grid.
+    taps: np.ndarray
+    #: ``(Cin*KH*KW, Cout)`` — right-hand operand for the im2col path.
+    mat_t: np.ndarray
+    #: ``(Cout,)`` per-output-channel weight scales (int8) or ``None`` (fp16).
+    scales: np.ndarray | None
+    #: Bias stays float32 — it is added after dequantization.
+    bias: np.ndarray | None
+    kernel: tuple[int, int]
+
+    @property
+    def out_channels(self) -> int:
+        return self.taps.shape[3]
+
+    @property
+    def in_channels(self) -> int:
+        return self.taps.shape[2]
+
+
+def quantize_conv_weight(weight: np.ndarray, bias: np.ndarray | None,
+                         precision: str) -> QuantizedConvWeight:
+    """Quantize a ``(Cout, Cin, KH, KW)`` kernel for ``precision``.
+
+    fp16 rounds the weights to the float16 grid; int8 derives symmetric
+    per-output-channel scales ``max|w[o]| / 127`` and stores integer codes.
+    Raises ``ValueError`` for unknown precisions and when the int8
+    reduction depth would overflow exact float32 integer accumulation.
+    """
+    cout, cin, kh, kw = weight.shape
+    w = np.asarray(weight, dtype=np.float32)
+    bias = None if bias is None else np.ascontiguousarray(
+        np.asarray(bias, dtype=np.float32))
+    if precision == "fp16":
+        q = w.astype(np.float16).astype(np.float32)
+        scales = None
+    elif precision == "int8":
+        depth = cin * kh * kw
+        if depth * 127 * 127 >= INT8_EXACT_ACC_BOUND:
+            raise ValueError(
+                f"int8 reduction depth Cin*KH*KW = {depth} overflows exact "
+                f"float32 integer accumulation (needs depth * 127^2 < 2^24, "
+                f"i.e. depth <= {INT8_EXACT_ACC_BOUND // (127 * 127)})")
+        amax = np.abs(w).reshape(cout, -1).max(axis=1)
+        scales = np.where(amax > 0.0, amax / 127.0, 1.0).astype(np.float32)
+        q = np.clip(np.rint(w / scales[:, None, None, None]), -127.0, 127.0)
+        q = q.astype(np.float32)
+    else:
+        raise ValueError(f"unknown precision {precision!r}; "
+                         f"expected one of {PRECISIONS[1:]}")
+    mat = q.reshape(cout, cin * kh * kw)
+    return QuantizedConvWeight(
+        precision=precision,
+        taps=np.ascontiguousarray(q.transpose(2, 3, 1, 0)),
+        mat_t=np.ascontiguousarray(mat.T),
+        scales=scales,
+        bias=bias,
+        kernel=(kh, kw),
+    )
+
+
+def _quantize_activations(x: np.ndarray,
+                          precision: str) -> tuple[np.ndarray, float]:
+    """Constrain activations to the precision's grid.
+
+    Returns ``(xq, scale)``: fp16 rounds in place of a scale (scale 1.0);
+    int8 returns integer codes plus the dynamic per-tensor scale.
+    """
+    if precision == "fp16":
+        return x.astype(np.float16).astype(np.float32), 1.0
+    amax = float(np.max(np.abs(x))) if x.size else 0.0
+    if amax == 0.0:
+        return np.zeros_like(x, dtype=np.float32), 1.0
+    scale = amax / 127.0
+    return np.rint(x * (1.0 / scale)).astype(np.float32, copy=False), scale
+
+
+def conv2d_gemm_quant(
+    x: np.ndarray, qw: QuantizedConvWeight, stride: int = 1,
+    padding: int = 0, relu: bool = False,
+    residual: np.ndarray | None = None, res_scale: float = 1.0,
+) -> np.ndarray:
+    """Reduced-precision counterpart of :func:`conv2d_gemm` (NCHW)."""
+    kh, kw = qw.kernel
+    if x.shape[1] != qw.in_channels:
+        raise ValueError(f"input has {x.shape[1]} channels, kernel expects "
+                         f"{qw.in_channels}")
+    xq, x_scale = _quantize_activations(np.asarray(x, dtype=np.float32),
+                                        qw.precision)
+    col, oh, ow = im2col(xq, kh, kw, stride, padding)
+    out = col @ qw.mat_t                          # exact on the quant grid
+    out = out.reshape(x.shape[0], oh, ow, qw.out_channels)
+    out = np.ascontiguousarray(out.transpose(0, 3, 1, 2))
+    if qw.scales is not None:
+        out *= (x_scale * qw.scales)[None, :, None, None]
+    return _apply_epilogue(out, qw.bias, relu, residual, res_scale,
+                           channel_axis=1)
+
+
+def conv2d_shift_nhwc_quant(
+    x: np.ndarray, qw: QuantizedConvWeight, relu: bool = False,
+    residual: np.ndarray | None = None, res_scale: float = 1.0,
+) -> np.ndarray:
+    """Reduced-precision counterpart of :func:`conv2d_shift_nhwc` (NHWC).
+
+    The padded input is quantized once per conv; every tap GEMM then runs
+    on grid-constrained operands, and for int8 the integer accumulator is
+    dequantized by ``x_scale * scales[o]`` before the fused epilogue.
+    """
+    kh, kw = qw.kernel
+    n, h, w, cin = x.shape
+    if cin != qw.in_channels:
+        raise ValueError(f"input has {cin} channels, kernel expects "
+                         f"{qw.in_channels}")
+    xq, x_scale = _quantize_activations(x, qw.precision)
+    xp = np.pad(xq, [(0, 0), (kh // 2, kh // 2), (kw // 2, kw // 2), (0, 0)])
+    taps = qw.taps
+    acc = np.empty((n, h, w, qw.out_channels), dtype=np.float32)
+    tmp = np.empty_like(acc)
+    first = True
+    for i in range(kh):
+        for j in range(kw):
+            np.matmul(xp[:, i:i + h, j:j + w, :], taps[i, j],
+                      out=acc if first else tmp)
+            if not first:
+                acc += tmp
+            first = False
+    if qw.scales is not None:
+        acc *= x_scale * qw.scales
+    return _apply_epilogue(acc, qw.bias, relu, residual, res_scale,
                            channel_axis=3)
 
 

@@ -119,24 +119,38 @@ class Conv2d(Layer):
         self.bias = Parameter(winit.zeros((out_channels,)), name=f"{name}.bias") if bias else None
         self._x: np.ndarray | None = None
         self.needs_input_grad = True
-        self._packed: F.PackedConvWeight | None = None
+        self._packed: dict[str, F.PackedConvWeight | F.QuantizedConvWeight] = {}
         self._packed_key: tuple[int, int] | None = None
 
-    def packed(self) -> F.PackedConvWeight:
+    def packed(self, precision: str = "fp32"
+               ) -> F.PackedConvWeight | F.QuantizedConvWeight:
         """The kernel pre-packed for the GEMM inference path.
 
-        Packed once and cached; any weight or bias update (tracked through
-        :attr:`Parameter.version`) invalidates the cache, so a model that
-        trains between inferences always infers with fresh weights.
+        ``precision="fp32"`` returns the exact :class:`PackedConvWeight`;
+        ``"fp16"``/``"int8"`` return a :class:`QuantizedConvWeight` (see
+        :func:`repro.nn.functional.quantize_conv_weight` — scales derive
+        deterministically from the fp32 weights, so clients recompute them
+        rather than downloading a second checkpoint).  Each precision is
+        packed once and cached; any weight or bias update (tracked through
+        :attr:`Parameter.version`) invalidates every cached precision, so
+        a model that trains between inferences always infers with fresh
+        taps and fresh scales.
         """
         key = (self.weight.version,
                self.bias.version if self.bias is not None else -1)
-        if self._packed is None or self._packed_key != key:
-            self._packed = F.pack_conv_weight(
-                self.weight.data,
-                self.bias.data if self.bias is not None else None)
+        if self._packed_key != key:
+            self._packed = {}
             self._packed_key = key
-        return self._packed
+        entry = self._packed.get(precision)
+        if entry is None:
+            bias = self.bias.data if self.bias is not None else None
+            if precision == "fp32":
+                entry = F.pack_conv_weight(self.weight.data, bias)
+            else:
+                entry = F.quantize_conv_weight(self.weight.data, bias,
+                                               precision)
+            self._packed[precision] = entry
+        return entry
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         if not training:

@@ -25,6 +25,7 @@ __all__ = [
     "load_model",
     "model_size_bytes",
     "model_size_mb",
+    "quantized_size_bytes",
     "serialize_to_bytes",
     "deserialize_from_bytes",
     "PER_TENSOR_OVERHEAD_BYTES",
@@ -102,3 +103,30 @@ def model_size_bytes(model: Layer) -> int:
 
 def model_size_mb(model: Layer) -> float:
     return model_size_bytes(model) / (1024.0 * 1024.0)
+
+
+def quantized_size_bytes(model: Layer, precision: str) -> int:
+    """Download size of a ``precision``-quantized checkpoint.
+
+    Mirrors what a quantized serialization would ship: fp16 stores every
+    parameter at 2 bytes; int8 stores weight tensors as 1-byte codes plus
+    float32 per-output-channel scales (axis 0, matching
+    :func:`repro.nn.functional.quantize_conv_weight`) while biases and
+    other 1-D tensors stay float32.  Container overhead per tensor is the
+    same as :func:`model_size_bytes`.
+    """
+    if precision == "fp32":
+        return model_size_bytes(model)
+    if precision not in ("fp16", "int8"):
+        raise ValueError(f"unknown precision {precision!r}")
+    n_tensors = 0
+    payload = 0
+    for p in model.parameters():
+        n_tensors += 1
+        if precision == "fp16":
+            payload += 2 * p.size
+        elif p.data.ndim >= 2:
+            payload += p.size + 4 * p.data.shape[0]
+        else:
+            payload += 4 * p.size
+    return payload + n_tensors * PER_TENSOR_OVERHEAD_BYTES

@@ -128,9 +128,11 @@ class BatchingInferenceEngine:
         co-arriving frames before dispatching a partial batch.  0 disables
         waiting: every frame dispatches immediately (batching then only
         merges frames that were already pending).
-    tile / threads:
+    tile / threads / precision / skip_gate:
         Passed through to each underlying per-model
-        :class:`~repro.sr.engine.InferenceEngine`.
+        :class:`~repro.sr.engine.InferenceEngine` (``precision`` selects
+        the quantized GEMM kernels, ``skip_gate`` the low-detail tile
+        gate; the defaults are bitwise-identical to the plain engine).
     obs:
         Optional :class:`~repro.obs.Observability`: batch sizes land in
         the ``dcsr_batch_size`` histogram, totals in
@@ -139,7 +141,8 @@ class BatchingInferenceEngine:
 
     def __init__(self, max_batch: int = 8, max_wait_s: float = 0.002,
                  tile: int | None = None, threads: int = 1,
-                 obs: Observability | None = None):
+                 obs: Observability | None = None, precision: str = "fp32",
+                 skip_gate=None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_s < 0:
@@ -148,6 +151,8 @@ class BatchingInferenceEngine:
         self.max_wait_s = float(max_wait_s)
         self.tile = tile
         self.threads = int(threads)
+        self.precision = precision
+        self.skip_gate = skip_gate
         self.obs = obs
         self.stats = BatchingStats()
         self._clock = wall_clock()
@@ -221,16 +226,21 @@ class BatchingInferenceEngine:
                     request.error = error
                 else:
                     request.out = outputs[i]
-                    request.stats = stats
+                    request.stats = stats[i]
             group.leader_active = False
             group.cond.notify_all()
 
     def _run_batch(self, group: _Group,
-                   batch: list[_Request]) -> tuple[np.ndarray, EngineStats]:
+                   batch: list[_Request]
+                   ) -> tuple[np.ndarray, list[EngineStats]]:
         frames = np.stack([request.frame for request in batch])
         with group.engine_lock:
             outputs = group.engine.enhance_batch(frames)
-            per_frame = group.engine.stats.per_frame()
+            # Per-rider shares are sum-consistent: summing them reproduces
+            # the batched call's aggregate, so fleet rollups no longer
+            # inflate tile counts N× per batch.
+            per_frame = [group.engine.stats.per_frame(i)
+                         for i in range(len(batch))]
         with self._lock:
             self.stats.n_batches += 1
             self.stats.n_frames += len(batch)
@@ -257,7 +267,9 @@ class BatchingInferenceEngine:
             if pair is None:
                 pair = self._engines[id(model)] = (
                     InferenceEngine(model, tile=self.tile,
-                                    threads=self.threads),
+                                    threads=self.threads,
+                                    precision=self.precision,
+                                    skip_gate=self.skip_gate),
                     threading.Lock())
             key = (id(model), shape)
             group = self._groups.get(key)

@@ -14,7 +14,10 @@ from .configs import (
     dcsr_config,
 )
 from .edsr import EDSR, EdsrConfig
-from .engine import EngineStats, InferenceEngine, receptive_field_radius
+from .engine import (EngineStats, InferenceEngine, SkipGateConfig,
+                     receptive_field_radius)
+from .quantize import (QUANT_PRECISIONS, CalibrationResult,
+                       calibrate_quantized)
 from .min_model import (
     MinModelSearch,
     config_grid,
@@ -35,6 +38,10 @@ __all__ = [
     "EdsrConfig",
     "InferenceEngine",
     "EngineStats",
+    "SkipGateConfig",
+    "QUANT_PRECISIONS",
+    "CalibrationResult",
+    "calibrate_quantized",
     "receptive_field_radius",
     "BicubicSR",
     "DCSR_CONFIGS",

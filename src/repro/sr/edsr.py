@@ -116,16 +116,22 @@ class EDSR(nn.Layer):
     def size_mb(self) -> float:
         return nn.model_size_mb(self)
 
-    def use_fast_path(self, tile: int | None = None, threads: int = 1):
+    def use_fast_path(self, tile: int | None = None, threads: int = 1,
+                      precision: str = "fp32", skip_gate=None):
         """Route :meth:`enhance` / :meth:`enhance_batch` through the tiled
         NHWC :class:`~repro.sr.engine.InferenceEngine`; returns the engine.
 
+        ``precision`` and ``skip_gate`` select the quantized kernels and
+        the low-detail tile gate (see :class:`~repro.sr.engine.SkipGateConfig`);
+        the defaults keep the engine bitwise-identical to the fp32 path.
         The engine reads packed weights through the conv layers, so
         training after attaching it stays safe — the next enhance repacks.
         """
         from .engine import InferenceEngine
 
-        self._engine = InferenceEngine(self, tile=tile, threads=threads)
+        self._engine = InferenceEngine(self, tile=tile, threads=threads,
+                                       precision=precision,
+                                       skip_gate=skip_gate)
         return self._engine
 
     def clear_fast_path(self) -> None:

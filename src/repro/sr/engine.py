@@ -41,9 +41,11 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..video.sampling import upscale
 from .edsr import _PIXEL_SHIFT, EDSR, EdsrConfig
 
-__all__ = ["InferenceEngine", "EngineStats", "receptive_field_radius"]
+__all__ = ["InferenceEngine", "EngineStats", "SkipGateConfig",
+           "receptive_field_radius"]
 
 
 def receptive_field_radius(config: EdsrConfig) -> int:
@@ -70,24 +72,62 @@ def receptive_field_radius(config: EdsrConfig) -> int:
     return int(math.ceil(radius - 1e-9))
 
 
+@dataclass(frozen=True)
+class SkipGateConfig:
+    """Content gate that routes low-detail tiles around the network.
+
+    Before running a tile through the model, the engine measures the
+    variance of the tile's channel-mean ("luma") interior per frame; tiles
+    whose variance falls below ``var_threshold`` carry too little texture
+    for SR to improve and are upscaled bicubically (scale 1: passed
+    through) instead.  ``var_threshold`` is in squared [0, 1] intensity
+    units: flat synthetic backgrounds sit below 1e-5 while natural texture
+    measures 1e-3 and up, so the 2e-4 default skips only genuinely flat
+    content.  Skipped work is visible as :attr:`EngineStats.skipped_tiles`
+    and the ``dcsr_sr_skipped_tiles_total`` counter.
+    """
+
+    var_threshold: float = 2e-4
+
+    def __post_init__(self):
+        if self.var_threshold < 0.0:
+            raise ValueError("var_threshold must be >= 0")
+
+
 @dataclass
 class EngineStats:
-    """Counters from the most recent :meth:`InferenceEngine.enhance` call."""
+    """Counters from the most recent :meth:`InferenceEngine.enhance` call.
+
+    ``tile_count`` counts (frame, tile) pairs that ran through the model —
+    a whole-frame batch of N frames counts N, an N-frame call over a
+    T-tile grid counts up to ``N * T`` — and ``skipped_tiles`` counts the
+    (frame, tile) pairs the variance gate routed to bicubic instead, so
+    ``tile_count + skipped_tiles == N * T`` always holds.
+    """
 
     tile_count: int = 0
     frames: int = 0
     flops: float = 0.0
+    skipped_tiles: int = 0
 
-    def per_frame(self) -> "EngineStats":
-        """One frame's share of a batched call's counters.
+    def per_frame(self, index: int = 0) -> "EngineStats":
+        """Frame ``index``'s share of a batched call's counters.
 
         Cross-session batching (:class:`repro.serve.BatchingInferenceEngine`)
         runs N sessions' frames through one call and attributes the stats
-        back per session: FLOPs split evenly, while the tile count stays
-        whole — every frame passes through the full tile grid.
+        back per session.  Shares are sum-consistent: summing
+        ``per_frame(i)`` over ``i in range(frames)`` reproduces the
+        aggregate exactly — FLOPs split evenly, integer counters split
+        evenly with the remainder attributed to the lowest frame indices.
         """
-        return EngineStats(tile_count=self.tile_count, frames=1,
-                           flops=self.flops / max(1, self.frames))
+        f = max(1, self.frames)
+
+        def split(count: int) -> int:
+            return count // f + (1 if index < count % f else 0)
+
+        return EngineStats(tile_count=split(self.tile_count), frames=1,
+                           flops=self.flops / f,
+                           skipped_tiles=split(self.skipped_tiles))
 
 
 class InferenceEngine:
@@ -111,20 +151,41 @@ class InferenceEngine:
         Optional :class:`~repro.obs.Observability`; every call then
         accumulates its tile / frame / FLOP counts into the
         ``dcsr_sr_tiles_total`` / ``dcsr_sr_frames_total`` /
-        ``dcsr_sr_flops_total`` counters (per-call numbers stay in
-        :attr:`stats`).
+        ``dcsr_sr_flops_total`` / ``dcsr_sr_skipped_tiles_total``
+        counters (per-call numbers stay in :attr:`stats`).
+    precision:
+        ``"fp32"`` (default, bitwise-identical to the original engine),
+        ``"fp16"`` or ``"int8"`` — routes every conv through the
+        reduced-precision GEMM kernels
+        (:func:`repro.nn.functional.conv2d_shift_nhwc_quant`) with packed
+        operands cached per precision on each layer.
+    skip_gate:
+        ``None`` (default — off, the execution path is unchanged) or a
+        :class:`SkipGateConfig` / plain variance threshold routing
+        low-detail tiles to bicubic upscaling.
     """
 
     def __init__(self, model: EDSR, tile: int | None = None,
-                 threads: int = 1, obs=None):
+                 threads: int = 1, obs=None, precision: str = "fp32",
+                 skip_gate: SkipGateConfig | float | None = None):
         if tile is not None and tile < 1:
             raise ValueError("tile must be >= 1 pixel")
         if threads < 1:
             raise ValueError("threads must be >= 1")
+        if precision not in F.PRECISIONS:
+            raise ValueError(f"unknown precision {precision!r}; "
+                             f"expected one of {F.PRECISIONS}")
+        if isinstance(skip_gate, (int, float)) and not isinstance(skip_gate, bool):
+            skip_gate = SkipGateConfig(var_threshold=float(skip_gate))
+        if skip_gate is not None and not isinstance(skip_gate, SkipGateConfig):
+            raise TypeError("skip_gate must be a SkipGateConfig, a float "
+                            "threshold, or None")
         self.model = model
         self.tile = tile
         self.threads = int(threads)
         self.obs = obs
+        self.precision = precision
+        self.skip_gate = skip_gate
         self.halo = receptive_field_radius(model.config)
         self.scale = model.config.scale
         self.stats = EngineStats()
@@ -140,6 +201,10 @@ class InferenceEngine:
                         "Frames enhanced by the engine").inc(self.stats.frames)
         metrics.counter("dcsr_sr_flops_total",
                         "Forward FLOPs executed").inc(self.stats.flops)
+        if self.stats.skipped_tiles:
+            metrics.counter("dcsr_sr_skipped_tiles_total",
+                            "SR tiles routed to bicubic by the skip gate"
+                            ).inc(self.stats.skipped_tiles)
 
     # ------------------------------------------------------------- planning
 
@@ -199,47 +264,59 @@ class InferenceEngine:
 
     def _forward(self, x: np.ndarray) -> np.ndarray:
         """Run the fused plan on one NHWC tensor (a frame batch or a tile)."""
-        conv = F.conv2d_shift_nhwc
-        x = conv(x - _PIXEL_SHIFT, self._plan[0][1].packed())   # head
+        p = self.precision
+        conv = F.conv2d_shift_nhwc if p == "fp32" else F.conv2d_shift_nhwc_quant
+        x = conv(x - _PIXEL_SHIFT, self._plan[0][1].packed(p))  # head
         skip = x                                                # global skip
         for op in self._plan[1:]:
             kind = op[0]
             if kind == "resblock":
-                t = conv(x, op[1].packed(), relu=True)
-                x = conv(t, op[2].packed(), residual=x, res_scale=op[3])
+                t = conv(x, op[1].packed(p), relu=True)
+                x = conv(t, op[2].packed(p), residual=x, res_scale=op[3])
             elif kind == "conv_skip":
-                x = conv(x, op[1].packed(), residual=skip)
+                x = conv(x, op[1].packed(p), residual=skip)
             elif kind == "conv":
-                x = conv(x, op[1].packed())
+                x = conv(x, op[1].packed(p))
             else:                       # shuffle
                 x = F.pixel_shuffle_nhwc(x, op[1])
         x += _PIXEL_SHIFT
         return x
 
-    def infer_nhwc(self, x: np.ndarray) -> np.ndarray:
-        """Enhance an ``(N, H, W, C)`` float32 batch; returns NHWC scaled by
-        ``config.scale``, tiled/threaded per the engine configuration."""
-        n, h, w, _ = x.shape
-        s = self.scale
+    def _tile_spans(self, h: int, w: int) -> list[tuple[int, int, int, int]]:
         tile = self.tile
         if tile is None or (tile >= h and tile >= w):
-            self.stats = EngineStats(tile_count=1, frames=n,
-                                     flops=self.flops_per_pixel() * n * h * w)
+            return [(0, h, 0, w)]
+        return [(y0, min(y0 + tile, h), x0, min(x0 + tile, w))
+                for y0 in range(0, h, tile) for x0 in range(0, w, tile)]
+
+    def infer_nhwc(self, x: np.ndarray) -> np.ndarray:
+        """Enhance an ``(N, H, W, C)`` float32 batch; returns NHWC scaled by
+        ``config.scale``, tiled/threaded/gated per the engine configuration."""
+        n, h, w, _ = x.shape
+        s = self.scale
+        fpp = self.flops_per_pixel()
+        if self.skip_gate is not None:
+            return self._infer_gated(x)
+        if self.tile is None or (self.tile >= h and self.tile >= w):
+            # Whole-frame: every frame is one (frame, tile) execution.
+            self.stats = EngineStats(tile_count=n, frames=n,
+                                     flops=fpp * n * h * w)
             self._count_stats()
             return self._forward(x)
 
-        spans = []
-        for y0 in range(0, h, tile):
-            for x0 in range(0, w, tile):
-                spans.append((y0, min(y0 + tile, h), x0, min(x0 + tile, w)))
+        spans = self._tile_spans(h, w)
         out = np.empty((n, h * s, w * s, self.model.config.in_channels),
                        dtype=np.float32)
         halo = self.halo
 
+        def expand(span):
+            y0, y1, x0, x1 = span
+            return (max(0, y0 - halo), min(h, y1 + halo),
+                    max(0, x0 - halo), min(w, x1 + halo))
+
         def run_tile(span):
             y0, y1, x0, x1 = span
-            ey0, ex0 = max(0, y0 - halo), max(0, x0 - halo)
-            ey1, ex1 = min(h, y1 + halo), min(w, x1 + halo)
+            ey0, ey1, ex0, ex1 = expand(span)
             result = self._forward(x[:, ey0:ey1, ex0:ex1, :])
             out[:, y0 * s:y1 * s, x0 * s:x1 * s, :] = result[
                 :, (y0 - ey0) * s:(y1 - ey0) * s,
@@ -250,14 +327,75 @@ class InferenceEngine:
             for op in self._plan:       # pre-pack outside the worker race
                 for layer in op[1:]:
                     if isinstance(layer, nn.Conv2d):
-                        layer.packed()
+                        layer.packed(self.precision)
             with ThreadPoolExecutor(max_workers=self.threads) as pool:
                 list(pool.map(run_tile, spans))
         else:
             for span in spans:
                 run_tile(span)
-        self.stats = EngineStats(tile_count=len(spans), frames=n,
-                                 flops=self.flops_per_pixel() * n * h * w)
+        # FLOPs over the pixels actually convolved: each tile computes its
+        # halo-expanded extent, so overlap compute is counted, not the
+        # nominal h*w (which silently under-counted before).
+        expanded_pixels = sum((ey1 - ey0) * (ex1 - ex0)
+                              for ey0, ey1, ex0, ex1 in map(expand, spans))
+        self.stats = EngineStats(tile_count=n * len(spans), frames=n,
+                                 flops=fpp * n * expanded_pixels)
+        self._count_stats()
+        return out
+
+    def _infer_gated(self, x: np.ndarray) -> np.ndarray:
+        """Tiled execution with the variance gate deciding, per (frame,
+        tile) pair, between the model and bicubic upscaling."""
+        n, h, w, _ = x.shape
+        s = self.scale
+        fpp = self.flops_per_pixel()
+        halo = self.halo
+        threshold = self.skip_gate.var_threshold
+        spans = self._tile_spans(h, w)
+        out = np.empty((n, h * s, w * s, self.model.config.in_channels),
+                       dtype=np.float32)
+        ran = [0] * len(spans)
+        flops = [0.0] * len(spans)
+
+        def run_tile(item):
+            idx, (y0, y1, x0, x1) = item
+            interior = x[:, y0:y1, x0:x1, :]
+            # Variance of the channel-mean tile interior, per frame.
+            variance = interior.mean(axis=3).var(axis=(1, 2))
+            run = variance >= threshold
+            n_run = int(run.sum())
+            ran[idx] = n_run
+            if n_run:
+                ey0, ex0 = max(0, y0 - halo), max(0, x0 - halo)
+                ey1, ex1 = min(h, y1 + halo), min(w, x1 + halo)
+                result = self._forward(x[:, ey0:ey1, ex0:ex1, :][run])
+                out[run, y0 * s:y1 * s, x0 * s:x1 * s, :] = result[
+                    :, (y0 - ey0) * s:(y1 - ey0) * s,
+                    (x0 - ex0) * s:(x1 - ex0) * s, :]
+                flops[idx] = fpp * n_run * (ey1 - ey0) * (ex1 - ex0)
+            for fi in np.nonzero(~run)[0]:
+                if s == 1:
+                    out[fi, y0:y1, x0:x1, :] = interior[fi]
+                else:
+                    out[fi, y0 * s:y1 * s, x0 * s:x1 * s, :] = upscale(
+                        interior[fi], s)
+
+        items = list(enumerate(spans))
+        if self.threads > 1 and len(spans) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+            for op in self._plan:
+                for layer in op[1:]:
+                    if isinstance(layer, nn.Conv2d):
+                        layer.packed(self.precision)
+            with ThreadPoolExecutor(max_workers=self.threads) as pool:
+                list(pool.map(run_tile, items))
+        else:
+            for item in items:
+                run_tile(item)
+        executed = sum(ran)
+        self.stats = EngineStats(tile_count=executed, frames=n,
+                                 flops=sum(flops),
+                                 skipped_tiles=n * len(spans) - executed)
         self._count_stats()
         return out
 

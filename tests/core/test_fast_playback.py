@@ -120,6 +120,100 @@ class TestPrefetchEquivalence:
         assert client.last_result.model_bytes > 0
 
 
+class TestQuantizedGatedPlayback:
+    """PR-7 knobs: precision, skip gate, and the sr_batch worker pool."""
+
+    def test_validation(self, package):
+        with pytest.raises(ValueError):
+            FastPathConfig(precision="int4")
+        with pytest.raises(ValueError):
+            FastPathConfig(skip_gate=-0.5)
+        with pytest.raises(ValueError):
+            FastPathConfig(sr_batch=0)
+        with pytest.raises(ValueError):
+            # the batched pipeline needs prefetch workers to merge frames
+            FastPathConfig(sr_batch=2, prefetch=0)
+
+    def test_sr_batch_bitwise_equals_prefetch(self, package, small_clip):
+        base = _play(package, small_clip.frames,
+                     FastPathConfig(tile=24, prefetch=2))
+        for sr_batch in (2, 3):
+            batched = _play(package, small_clip.frames,
+                            FastPathConfig(tile=24, prefetch=2,
+                                           sr_batch=sr_batch))
+            assert base.frame_types == batched.frame_types
+            for a, b in zip(base.frames, batched.frames):
+                assert np.array_equal(a, b)
+            assert base.psnr_per_frame == batched.psnr_per_frame
+            assert base.total_bytes == batched.total_bytes
+
+    def test_sr_batch_lossy_preserves_concealment(self, package, small_clip):
+        serial = _play(package, small_clip.frames,
+                       FastPathConfig(tile=24, prefetch=2),
+                       network=_lossy_net(), fallback=True)
+        batched = _play(package, small_clip.frames,
+                        FastPathConfig(tile=24, prefetch=2, sr_batch=2),
+                        network=_lossy_net(), fallback=True)
+        assert serial.skipped_segments == batched.skipped_segments
+        assert serial.fallback_segments == batched.fallback_segments
+        for a, b in zip(serial.frames, batched.frames):
+            assert np.array_equal(a, b)
+        assert serial.total_bytes == batched.total_bytes
+
+    def test_sr_batch_strict_mode_raises(self, package, small_clip):
+        network = SimulatedNetwork(NetworkConfig(fail_rate=1.0, seed=0))
+        client = DcsrClient(package, network=network,
+                            retry=RetryPolicy(retries=0, backoff_s=0.0),
+                            fallback=False,
+                            fast_path=FastPathConfig(prefetch=2, sr_batch=2))
+        with pytest.raises(DownloadError):
+            client.play(small_clip.frames)
+        assert client.last_result.telemetry is not None
+
+    def test_precision_shrinks_model_bytes(self, package, small_clip):
+        """Quantized checkpoints flow through the byte accounting: the
+        manifest's per-precision sizes are what the client downloads."""
+        by_precision = {
+            p: _play(package, small_clip.frames,
+                     FastPathConfig(tile=24, precision=p))
+            for p in ("fp32", "fp16", "int8")
+        }
+        sizes = {p: r.model_bytes for p, r in by_precision.items()}
+        assert sizes["int8"] < sizes["fp16"] < sizes["fp32"]
+        # video bytes are untouched by model precision
+        assert len({r.video_bytes for r in by_precision.values()}) == 1
+
+    def test_fp32_knobs_off_bitwise_identical(self, package, small_clip):
+        plain = _play(package, small_clip.frames,
+                      FastPathConfig(tile=24, prefetch=2))
+        explicit = _play(package, small_clip.frames,
+                         FastPathConfig(tile=24, prefetch=2,
+                                        precision="fp32", skip_gate=None))
+        for a, b in zip(plain.frames, explicit.frames):
+            assert np.array_equal(a, b)
+        assert plain.model_bytes == explicit.model_bytes
+
+    def test_quantized_playback_within_budget(self, package, small_clip):
+        """End-to-end PSNR cost of int8 playback stays within the 0.3 dB
+        shipping budget the build-time calibration asserts."""
+        fp32 = _play(package, small_clip.frames, FastPathConfig(tile=24))
+        int8 = _play(package, small_clip.frames,
+                     FastPathConfig(tile=24, precision="int8"))
+        assert abs(fp32.mean_psnr - int8.mean_psnr) <= 0.3
+
+    def test_skip_gate_counts_surface_in_telemetry(self, package,
+                                                   small_clip):
+        aggressive = _play(package, small_clip.frames,
+                           FastPathConfig(tile=16, skip_gate=1e6))
+        t = aggressive.telemetry
+        # A huge threshold gates every tile to bicubic.
+        assert t.skipped_tiles > 0
+        assert t.tile_count == 0
+        assert any("gated to bicubic" in line for line in t.summary_lines())
+        off = _play(package, small_clip.frames, FastPathConfig(tile=16))
+        assert off.telemetry.skipped_tiles == 0
+
+
 class TestFastPathTelemetry:
     def test_fields_populated(self, package, small_clip):
         client = DcsrClient(package,

@@ -49,6 +49,41 @@ class TestPersistence:
             np.testing.assert_array_equal(a, b)
         assert original.model_bytes == reloaded.model_bytes
 
+    def test_quantization_block_roundtrips(self, package, tmp_path):
+        """The calibration records (per-label, per-precision sizes and
+        PSNR deltas) survive save/load — clients trust the reloaded
+        manifest for byte accounting and budget display."""
+        assert package.manifest.quantization, "build should have calibrated"
+        save_package(package, tmp_path / "pkg")
+        loaded = load_package(tmp_path / "pkg")
+        assert set(loaded.manifest.quantization) == \
+            set(package.manifest.quantization)
+        for label, per_precision in package.manifest.quantization.items():
+            reloaded = loaded.manifest.quantization[label]
+            assert set(reloaded) == set(per_precision)
+            for precision, record in per_precision.items():
+                assert reloaded[precision].size_bytes == record.size_bytes
+                assert reloaded[precision].delta_db == record.delta_db
+        for label in package.manifest.model_sizes:
+            for precision in ("fp32", "int8"):
+                assert loaded.manifest.model_size_for(label, precision) == \
+                    package.manifest.model_size_for(label, precision)
+
+    def test_legacy_package_without_quantization_loads(self, package,
+                                                       tmp_path):
+        """Packages written before the quantize stage have no block in
+        the manifest; loading must default to empty, not fail."""
+        root = save_package(package, tmp_path / "pkg")
+        meta = json.loads((root / "manifest.json").read_text())
+        meta.pop("quantization", None)
+        (root / "manifest.json").write_text(json.dumps(meta))
+        loaded = load_package(root)
+        assert loaded.manifest.quantization == {}
+        # Byte accounting falls back to the fp32 size for every precision.
+        label = next(iter(loaded.manifest.model_sizes))
+        assert loaded.manifest.model_size_for(label, "int8") == \
+            loaded.manifest.model_sizes[label]
+
     def test_missing_manifest_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_package(tmp_path / "nope")

@@ -231,6 +231,46 @@ class TestBatchingEngine:
         assert adapter.stats.frames == 1
         assert adapter.stats.flops > 0
 
+    def test_rider_stats_sum_to_batch_aggregate(self):
+        """Regression: riders used to receive the *whole* batched call's
+        counters, so fleet rollups summed tile_count N times per merged
+        batch.  Each rider must now get exactly its per-frame share —
+        summing across riders reproduces the true total, regardless of
+        how the frames happened to group into batches."""
+        import threading
+
+        from repro.sr import EDSR, EdsrConfig
+
+        model = EDSR(EdsrConfig(n_resblocks=1, n_filters=4), seed=5)
+        batcher = BatchingInferenceEngine(max_batch=6, max_wait_s=0.2,
+                                          tile=10)
+        rng = np.random.default_rng(2)
+        frames = [rng.random((16, 20, 3), dtype=np.float32)
+                  for _ in range(6)]
+        shares = [None] * 6
+        barrier = threading.Barrier(6)
+
+        def worker(i):
+            adapter = batcher.engine_for(model)
+            barrier.wait()
+            adapter.enhance(frames[i])
+            shares[i] = adapter.stats
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # 2x2 tile grid per (16, 20) frame at tile=10; six riders.
+        assert all(s.frames == 1 for s in shares)
+        assert sum(s.tile_count for s in shares) == 6 * 4
+        assert sum(s.skipped_tiles for s in shares) == 0
+        assert all(s.flops > 0 for s in shares)
+        # The merge actually happened, so the old N-per-batch inflation
+        # would have tripped the equality above.
+        assert batcher.stats.max_batch_seen >= 2
+
     def test_validation(self):
         with pytest.raises(ValueError, match="max_batch"):
             BatchingInferenceEngine(max_batch=0)

@@ -135,6 +135,74 @@ class TestHaloAndStats:
         assert np.abs(after - model_reference(model, frame)).max() <= 2e-5
 
 
+class TestFlopAccounting:
+    def test_tiled_flops_exceed_whole_frame(self):
+        """Regression: tiles are halo-expanded before inference, so the
+        tiled path computes strictly *more* FLOPs than whole-frame — the
+        engine used to report the nominal ``n*h*w`` pixels for both,
+        hiding the halo overhead from every telemetry consumer."""
+        model = EDSR(EdsrConfig(n_resblocks=2, n_filters=8), seed=20)
+        frame = _frame(np.random.default_rng(21), h=48, w=64)
+        whole = InferenceEngine(model)
+        whole.enhance(frame)
+        tiled = InferenceEngine(model, tile=20)
+        tiled.enhance(frame)
+        assert tiled.stats.flops > whole.stats.flops
+
+    def test_tiled_flops_count_expanded_pixels(self):
+        """The tiled total equals fpp times the sum of halo-expanded tile
+        areas (computable in closed form for an interior-free grid)."""
+        model = EDSR(EdsrConfig(n_resblocks=1, n_filters=4), seed=22)
+        frame = _frame(np.random.default_rng(23), h=20, w=20)
+        whole = InferenceEngine(model)
+        whole.enhance(frame)
+        fpp = whole.stats.flops / (20 * 20)
+        engine = InferenceEngine(model, tile=10)
+        engine.enhance(frame)
+        from repro.sr import receptive_field_radius
+        halo = receptive_field_radius(model.config)
+        expanded = 0
+        for y in (0, 10):
+            for x in (0, 10):
+                ey0, ey1 = max(0, y - halo), min(20, y + 10 + halo)
+                ex0, ex1 = max(0, x - halo), min(20, x + 10 + halo)
+                expanded += (ey1 - ey0) * (ex1 - ex0)
+        assert engine.stats.flops == pytest.approx(fpp * expanded, rel=1e-6)
+
+
+class TestPerFrameStats:
+    def test_split_is_sum_consistent(self):
+        """Regression: ``per_frame`` used to hand every frame the batch's
+        *whole* tile_count, so summing rider shares inflated fleet
+        rollups N-fold.  The shares must now partition the aggregate."""
+        model = EDSR(EdsrConfig(n_resblocks=1, n_filters=4), seed=24)
+        frames = np.random.default_rng(25).random((3, 24, 32, 3),
+                                                  dtype=np.float32)
+        engine = InferenceEngine(model, tile=10)
+        engine.enhance_batch(frames)
+        agg = engine.stats
+        shares = [agg.per_frame(i) for i in range(agg.frames)]
+        assert sum(s.tile_count for s in shares) == agg.tile_count
+        assert sum(s.skipped_tiles for s in shares) == agg.skipped_tiles
+        assert sum(s.flops for s in shares) == pytest.approx(agg.flops)
+        assert all(s.frames == 1 for s in shares)
+
+    def test_split_with_gate(self):
+        from repro.sr import SkipGateConfig
+
+        model = EDSR(EdsrConfig(n_resblocks=1, n_filters=4), seed=26)
+        frames = np.zeros((2, 20, 20, 3), dtype=np.float32)
+        frames[0] = np.random.default_rng(27).random((20, 20, 3))
+        engine = InferenceEngine(model, tile=10,
+                                 skip_gate=SkipGateConfig(1e-4))
+        engine.enhance_batch(frames)
+        agg = engine.stats
+        assert agg.skipped_tiles == 4          # the all-zero frame's grid
+        shares = [agg.per_frame(i) for i in range(2)]
+        assert sum(s.tile_count for s in shares) == agg.tile_count
+        assert sum(s.skipped_tiles for s in shares) == agg.skipped_tiles
+
+
 def model_reference(model, frame):
     engine, model._engine = model._engine, None
     try:
