@@ -226,3 +226,204 @@ def test_sr_quantized_gated_fast_path(benchmark):
     by_variant = {r[0]: r[2] for r in rows}
     assert by_variant["int8 gated t128"] >= 1.5, by_variant
     assert skip_ratio > 0.2, skip_ratio
+
+
+REUSE_FRAMES = 16
+PATCH = 48          # moving-patch edge: touches ~2 of the 15 gate tiles
+
+
+def _static_background_sequence():
+    """The paper's real-time target content: a 352x640 session whose
+    background is static frame to frame while a small patch moves.
+
+    The low-quality inputs come from the same bicubic down/up x2 round
+    trip as the quantized benchmark; because the degradation is
+    deterministic and local, static background pixels are *bitwise*
+    static in the LQ sequence too — exactly what exact-mode reuse keys
+    on in a real decode loop.
+    """
+    from repro.video.sampling import downscale, upscale
+
+    clip = make_video("reuse-bench", genre="music", seed=9,
+                      size=(352, 640), duration_seconds=0.2, fps=10,
+                      n_distinct_scenes=1)
+    base = np.stack(clip.frames[:1])[0]
+    rng = np.random.default_rng(10)
+    patch = rng.random((PATCH, PATCH, 3), dtype=np.float32)
+    hr = []
+    for i in range(REUSE_FRAMES):
+        frame = base.copy()
+        y, x = 64, 64 + i * 24                     # drifts right each frame
+        frame[y:y + PATCH, x:x + PATCH] = patch
+        hr.append(frame)
+    hr = np.stack(hr)
+    lq = np.stack([upscale(downscale(f, 2), 2) for f in hr])
+    return lq, hr
+
+
+def _sequence_fps(engine, frames, repeats):
+    """FPS over a session-shaped pass: sequential frames, cache reset
+    between passes so every repeat pays the first frame's full compute."""
+    def one_pass():
+        if getattr(engine, "reuse_cache", None) is not None:
+            engine.reset_reuse()
+        t0 = time.perf_counter()
+        for frame in frames:
+            engine.enhance(frame)
+        return time.perf_counter() - t0
+
+    best = min(one_pass() for _ in range(repeats))
+    return len(frames) / max(best, 1e-9)
+
+
+def test_sr_temporal_reuse_fast_path(benchmark):
+    """The ISSUE's real-time ladder on static-background content:
+    fp32 whole -> int8 gated -> + exact temporal reuse -> + blocked GEMM,
+    with the acceptance bar (>= 30 FPS single-thread) pinned to the
+    reuse rows."""
+    from repro.sr import SkipGateConfig
+    from repro.video.quality import psnr
+
+    model = _trained_model()
+    repeats = 2 if FAST else 3
+    lq, hr = _static_background_sequence()
+    gate = SkipGateConfig(GATE_THRESHOLD)
+
+    def experiment():
+        plain = InferenceEngine(model)
+        base_fps = _sequence_fps(plain, lq, repeats)
+        rows = [["fp32 whole", base_fps, 1.0]]
+
+        gated8 = InferenceEngine(model, tile=GATE_TILE, skip_gate=gate,
+                                 precision="int8")
+        exact_out = np.stack([gated8.enhance(f) for f in lq])
+        psnr_exact = float(psnr(exact_out, hr))
+        fps = _sequence_fps(gated8, lq, repeats)
+        rows.append(["int8 gated t128", fps, fps / base_fps])
+
+        reuse8 = InferenceEngine(model, tile=GATE_TILE, skip_gate=gate,
+                                 precision="int8", reuse=True)
+        reuse_out, reused, total = [], 0, 0
+        for frame in lq:
+            reuse_out.append(reuse8.enhance(frame))
+            s = reuse8.stats
+            reused += s.reused_tiles
+            total += s.tile_count + s.skipped_tiles + s.reused_tiles
+        reuse_out = np.stack(reuse_out)
+        reuse_rate = reused / max(total, 1)
+        psnr_reuse = float(psnr(reuse_out, hr))
+        bitwise_reuse = bool(np.array_equal(reuse_out, exact_out))
+        fps = _sequence_fps(reuse8, lq, repeats)
+        rows.append(["int8 gated+reuse", fps, fps / base_fps])
+
+        blocked = InferenceEngine(model, tile=GATE_TILE, skip_gate=gate,
+                                  precision="int8", reuse=True,
+                                  kernel="blocked")
+        fps = _sequence_fps(blocked, lq, repeats)
+        rows.append(["int8 gated+reuse+blocked", fps, fps / base_fps])
+
+        # Reuse off reproduces the PR-7 engine bit for bit.
+        off = InferenceEngine(model, tile=GATE_TILE, skip_gate=gate,
+                              precision="int8", reuse=None)
+        off_out = np.stack([off.enhance(f) for f in lq])
+        bitwise_off = bool(np.array_equal(off_out, exact_out))
+        return (rows, reuse_rate, psnr_exact, psnr_reuse, bitwise_reuse,
+                bitwise_off)
+
+    (rows, reuse_rate, psnr_exact, psnr_reuse, bitwise_reuse,
+     bitwise_off) = run_once(benchmark, experiment)
+
+    print_table("SR inference: temporal reuse ladder "
+                f"(352x640 static background, {REUSE_FRAMES} frames)",
+                ["variant", "seq FPS", "speedup vs fp32 whole"], rows)
+
+    results = dict(load_results("sr_inference") or {})
+    results["temporal_reuse"] = {
+        "frame_size": [352, 640],
+        "frames": REUSE_FRAMES,
+        "content": "music, static background + moving "
+                   f"{PATCH}x{PATCH} patch (bicubic down/up x2)",
+        "reuse": {"mode": "exact", "rate": float(reuse_rate)},
+        "quality": {"psnr_exact": psnr_exact, "psnr_reuse": psnr_reuse,
+                    "delta_db": psnr_exact - psnr_reuse},
+        "rows": [{"variant": r[0], "fps": r[1], "speedup": r[2]}
+                 for r in rows],
+        "bitwise_identical_to_no_reuse": bitwise_reuse,
+        "bitwise_identical_when_off": bitwise_off,
+    }
+    save_results("sr_inference", results)
+
+    assert bitwise_off, "reuse=None must reproduce the PR-7 engine"
+    assert bitwise_reuse, "exact-mode reuse must be invisible in the bits"
+    assert abs(psnr_exact - psnr_reuse) <= 0.3
+    assert reuse_rate >= 0.5, reuse_rate
+    by_variant = {r[0]: r[1] for r in rows}
+    # The paper's real-time claim, on this substrate, single-thread.
+    assert by_variant["int8 gated+reuse"] >= 30.0, by_variant
+    # The blocked GEMM trades the shift kernel's zero-copy taps for an
+    # im2col materialization; on BLAS-backed numpy that loses at micro
+    # shapes, so it is recorded honestly and only held above baseline.
+    assert by_variant["int8 gated+reuse+blocked"] > by_variant["fp32 whole"]
+
+
+def test_blocked_gemm_block_size_sweep(benchmark):
+    """Cache-blocked im2col across block sizes on a 352x640 activation.
+
+    fp32 is held to reassociation tolerance against the unblocked run
+    (BLAS sgemm picks kernels by M, so bitwise equality across block
+    sizes is unguaranteeable); int8 is asserted bitwise at every size
+    (integer accumulation below 2^24 is order-independent).  The sweep
+    records where the scratch-budget-derived default lands."""
+    from repro.nn import functional as F
+
+    rng = np.random.default_rng(11)
+    h, w, cin, cout, k = 352, 640, 8, 8, 3
+    x = rng.standard_normal((1, h, w, cin)).astype(np.float32)
+    weight = (rng.standard_normal((cout, cin, k, k)) * 0.3).astype(np.float32)
+    bias = rng.standard_normal(cout).astype(np.float32)
+    packed = F.pack_conv_weight(weight, bias)
+    qw = F.quantize_conv_weight(weight, bias, "int8")
+    repeats = 2 if FAST else 3
+    flops = 2.0 * h * w * cin * cout * k * k
+    default_rows = F.im2col_block_rows(w, cin, k, k)
+
+    def experiment():
+        reference = F.conv2d_im2col_nhwc(x, packed, block_rows=0)
+        ref_int8 = F.conv2d_im2col_nhwc_quant(x, qw, block_rows=0)
+        rows = []
+        for block_rows in (1, 4, default_rows, 64, 128, 0):
+            label = ("unblocked" if block_rows == 0 else
+                     f"{block_rows} rows" + (" (budget)" if block_rows ==
+                                             default_rows else ""))
+            out = F.conv2d_im2col_nhwc(x, packed, block_rows=block_rows)
+            fp32_max_diff = float(np.abs(out - reference).max())
+            assert fp32_max_diff <= 1e-5, (block_rows, fp32_max_diff)
+            out_int8 = F.conv2d_im2col_nhwc_quant(x, qw,
+                                                  block_rows=block_rows)
+            assert np.array_equal(out_int8, ref_int8), block_rows
+            best = min(_timed(lambda f: F.conv2d_im2col_nhwc(
+                x, packed, block_rows=block_rows), None)
+                for _ in range(repeats))
+            rows.append([label, block_rows, flops / best / 1e9,
+                         fp32_max_diff])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    print_table("Blocked im2col GEMM: block-size sweep "
+                f"(352x640x{cin} -> {cout}, 3x3, "
+                f"budget {F.IM2COL_SCRATCH_BYTES // 1024} KiB)",
+                ["block", "rows", "GFLOP/s", "fp32 max|diff|"], rows)
+
+    results = dict(load_results("sr_inference") or {})
+    results["blocked_gemm"] = {
+        "shape": {"h": h, "w": w, "cin": cin, "cout": cout, "k": k},
+        "scratch_bytes": F.IM2COL_SCRATCH_BYTES,
+        "budget_block_rows": default_rows,
+        "sweep": [{"label": r[0], "block_rows": r[1], "gflops": r[2],
+                   "fp32_max_diff_vs_unblocked": r[3]}
+                  for r in rows],
+        "int8_bitwise_equal_to_unblocked": True,
+        "fp32_tolerance_vs_unblocked": 1e-5,
+    }
+    save_results("sr_inference", results)

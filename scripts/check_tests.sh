@@ -19,6 +19,10 @@
 #   - no quantized kernels in the training path (optimizer, SR trainer,
 #     gradient checker, losses) — quantization is inference-only; the
 #     AST-level check is tests/nn/test_no_quant_in_training.py.
+#   - no unbounded temporal reuse cache in library code — every
+#     TileReuseCache must carry an explicit entry budget (an unbounded
+#     cache is a per-session memory leak); the AST-level check is
+#     tests/sr/test_no_unbounded_reuse.py.
 #
 # --strict-markers turns any unregistered @pytest.mark.<name> into a
 # collection error, so a typo'd tier mark cannot silently drop a test
@@ -51,6 +55,14 @@ run_guards() {
         exit 1
     fi
     echo "ok: no quantized kernels in the training path"
+    if grep -rnE 'TileReuseCache\(\)|TileReuseCache\(None\)|max_tiles\s*=\s*None' \
+            src/repro/ --include='*.py'; then
+        echo "error: unbounded TileReuseCache construction in src/repro/" >&2
+        echo "       (the reuse cache must carry an explicit entry budget;" >&2
+        echo "       see tests/sr/test_no_unbounded_reuse.py)" >&2
+        exit 1
+    fi
+    echo "ok: no unbounded reuse cache in library code"
 }
 
 run_tier1() {
@@ -59,7 +71,8 @@ run_tier1() {
     python -m pytest -x -q --strict-markers -m "not tier2 and not timing"
     echo "== tier 1: executable docs =="
     python -m pytest -x -q --strict-markers tests/test_docs.py \
-        tests/serve/test_no_threads.py tests/nn/test_no_quant_in_training.py
+        tests/serve/test_no_threads.py tests/nn/test_no_quant_in_training.py \
+        tests/sr/test_no_unbounded_reuse.py
 }
 
 run_tier2() {

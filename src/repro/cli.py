@@ -106,6 +106,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="decode N segments concurrently and merge "
                            "their I-frames into one batched GEMM (fast "
                            "path; needs --prefetch >= 1; default 1)")
+    play.add_argument("--reuse", action="store_true",
+                      help="temporal tile reuse: emit the previous "
+                           "frame's SR output for tiles whose decoded "
+                           "content did not change (fast path; exact "
+                           "mode, bitwise-identical output)")
+    play.add_argument("--reuse-tol", type=float, default=None,
+                      metavar="DIFF",
+                      help="near-static reuse: also reuse tiles whose "
+                           "max abs diff vs the previous frame is <= "
+                           "DIFF in [0,1] units (implies --reuse; "
+                           "carries a measurable PSNR cost)")
+    play.add_argument("--sr-kernel", choices=("shift", "blocked"),
+                      default=None,
+                      help="conv kernel for the fast path: shift "
+                           "(tap-decomposed, default) or blocked "
+                           "(cache-blocked im2col GEMM)")
     play.add_argument("--trace-out", default=None, metavar="FILE",
                       help="write the session's span tree as JSON")
     play.add_argument("--metrics-out", default=None, metavar="FILE",
@@ -164,6 +180,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "fails unenhanced instead of raising")
     serve.add_argument("--seed", type=int, default=0,
                        help="fleet seed (arrivals + per-session failures)")
+    serve.add_argument("--reuse", action="store_true",
+                       help="playback mode: enable exact temporal tile "
+                            "reuse in every session's SR engine")
+    serve.add_argument("--reuse-tol", type=float, default=None,
+                       metavar="DIFF",
+                       help="playback mode: tolerance-mode reuse (implies "
+                            "--reuse; see `play --reuse-tol`)")
+    serve.add_argument("--sr-demand-factor", type=float, default=1.0,
+                       metavar="F",
+                       help="trace mode: scale each session's modeled SR "
+                            "FLOP demand by F in [0, 1] (the measured "
+                            "fast-path savings from skip gate + reuse)")
     serve.add_argument("--reference", default=None,
                        help="original video .npz for quality scoring")
     serve.add_argument("--trace-out", default=None, metavar="FILE",
@@ -299,15 +327,20 @@ def _cmd_play(args) -> int:
             fail_rate=args.fail_rate, latency_s=args.latency,
             bandwidth_bps=args.bandwidth, seed=args.net_seed))
     fast = None
+    reuse = args.reuse_tol if args.reuse_tol is not None \
+        else (True if args.reuse else None)
     if (args.tile is not None or args.sr_threads is not None
             or args.prefetch is not None or args.precision is not None
-            or args.skip_gate is not None or args.sr_batch is not None):
+            or args.skip_gate is not None or args.sr_batch is not None
+            or reuse is not None or args.sr_kernel is not None):
         fast = FastPathConfig(tile=args.tile,
                               sr_threads=args.sr_threads or 1,
                               prefetch=args.prefetch or 0,
                               precision=args.precision or "fp32",
                               skip_gate=args.skip_gate,
-                              sr_batch=args.sr_batch or 1)
+                              sr_batch=args.sr_batch or 1,
+                              reuse=reuse,
+                              kernel=args.sr_kernel or "shift")
     from .obs import Observability
 
     client = DcsrClient(package, network=network,
@@ -340,6 +373,12 @@ def _cmd_serve(args) -> int:
 
     package = load_package(args.package)
     reference = _load_clip(args.reference).frames if args.reference else None
+    reuse = (args.reuse_tol if args.reuse_tol is not None
+             else (True if args.reuse else None))
+    fast_path = None
+    if reuse is not None:
+        from .core import FastPathConfig
+        fast_path = FastPathConfig(reuse=reuse)
     config = FleetConfig(
         sessions=args.sessions, mode=args.mode, arrival=args.arrival,
         bandwidth_bps=args.bandwidth, latency_s=args.latency,
@@ -350,6 +389,7 @@ def _cmd_serve(args) -> int:
         max_sessions=args.max_sessions, admission=args.admission,
         batching=args.batching, max_batch=args.max_batch,
         fallback=args.fallback, seed=args.seed,
+        fast_path=fast_path, sr_demand_factor=args.sr_demand_factor,
     )
     obs = Observability(root_name="serve")
     simulator = FleetSimulator(package, config, obs=obs)

@@ -46,7 +46,7 @@ import numpy as np
 from ..nn.functional import PRECISIONS
 from ..obs import Observability, SimulatedClock
 from ..sr.edsr import EDSR
-from ..sr.engine import InferenceEngine
+from ..sr.engine import ENGINE_KERNELS, InferenceEngine
 from ..video import rgb_to_yuv420, yuv420_to_rgb
 from ..video.frame import YuvFrame
 from ..video.quality import psnr, ssim
@@ -138,6 +138,19 @@ class FastPathConfig:
         the fleet simulator uses across sessions, applied inside one.
         Downloads stay serialized in segment order, so the simulated
         network consumes its schedule exactly as the serial client does.
+    reuse:
+        Optional temporal tile reuse: a
+        :class:`~repro.sr.engine.TileReuseConfig`, ``True`` (exact mode),
+        or a bare max-abs-diff tolerance float.  Tiles whose decoded LR
+        content matches the previous frame emit the cached SR output
+        instead of running the conv stack; the cache resets at every
+        segment boundary so seeks and concealment stay correct.  Exact
+        mode is bitwise-identical to playing without reuse.  Incompatible
+        with ``sr_batch > 1`` — concurrent segment decode breaks the
+        temporal ordering reuse relies on.
+    kernel:
+        SR conv kernel: ``"shift"`` (default, the tap-decomposed NHWC
+        kernel) or ``"blocked"`` (cache-blocked im2col GEMM).
     """
 
     tile: int | None = None
@@ -147,22 +160,37 @@ class FastPathConfig:
     precision: str = "fp32"
     skip_gate: object | None = None
     sr_batch: int = 1
+    reuse: object | None = None
+    kernel: str = "shift"
 
     def __post_init__(self):
         if self.precision not in PRECISIONS:
             raise ValueError(
                 f"precision must be one of {PRECISIONS}, "
                 f"got {self.precision!r}")
+        if self.kernel not in ENGINE_KERNELS:
+            raise ValueError(
+                f"kernel must be one of {ENGINE_KERNELS}, "
+                f"got {self.kernel!r}")
         if isinstance(self.skip_gate, (int, float)) \
                 and not isinstance(self.skip_gate, bool) \
                 and self.skip_gate < 0:
             raise ValueError(
                 f"skip_gate threshold must be >= 0, got {self.skip_gate}")
+        if isinstance(self.reuse, (int, float)) \
+                and not isinstance(self.reuse, bool) \
+                and self.reuse < 0:
+            raise ValueError(
+                f"reuse tolerance must be >= 0, got {self.reuse}")
         if self.sr_batch < 1:
             raise ValueError(f"sr_batch must be >= 1, got {self.sr_batch}")
         if self.sr_batch > 1 and self.prefetch < 1:
             raise ValueError(
                 "sr_batch > 1 needs the pipeline: set prefetch >= 1")
+        if self.sr_batch > 1 and self.reuse not in (None, False):
+            raise ValueError(
+                "reuse needs in-order frames: sr_batch > 1 decodes "
+                "segments concurrently and is incompatible with it")
 
 
 class PlayoutClock:
@@ -217,6 +245,7 @@ class SegmentPlayback:
     color_s: float = 0.0
     sr_tiles: int = 0
     sr_skipped_tiles: int = 0
+    sr_reused_tiles: int = 0
     sr_flops: float = 0.0
 
 
@@ -252,6 +281,9 @@ class PlaybackTelemetry:
     #: Tiles the variance gate routed to bicubic instead of the model
     #: (0 unless a :attr:`FastPathConfig.skip_gate` is set).
     skipped_tiles: int = 0
+    #: Tiles emitted from the temporal reuse cache instead of the model
+    #: (0 unless :attr:`FastPathConfig.reuse` is set).
+    reused_tiles: int = 0
     #: Effective SR throughput: model FLOPs divided by measured SR seconds.
     sr_gflops: float = 0.0
     #: Simulated playout seconds saved by pipelining download of segment
@@ -301,6 +333,8 @@ class PlaybackTelemetry:
                 or self.prefetch_overlap_seconds:
             skipped = f" ({self.skipped_tiles} gated to bicubic)" \
                 if self.skipped_tiles else ""
+            if self.reused_tiles:
+                skipped += f" ({self.reused_tiles} reused)"
             lines.append(
                 f"  fastpath   {self.tile_count} tiles{skipped}, "
                 f"{self.sr_gflops:.2f} GFLOP/s, "
@@ -487,7 +521,9 @@ class DcsrClient:
                                          threads=self._fast.sr_threads,
                                          obs=self.obs,
                                          precision=self._fast.precision,
-                                         skip_gate=self._fast.skip_gate)
+                                         skip_gate=self._fast.skip_gate,
+                                         reuse=self._fast.reuse,
+                                         kernel=self._fast.kernel)
             self._engines[id(model)] = engine
         return engine
 
@@ -1096,6 +1132,11 @@ class DcsrClient:
         """
         use_engine = self._fast is not None or self._engine_provider is not None
         engine = self._engine_for(model) if use_engine else None
+        if engine is not None and hasattr(engine, "reset_reuse"):
+            # One hook per segment: a segment boundary is a GOP boundary
+            # (and where seeks/concealment land), so cross-segment content
+            # coincidence must never be mistaken for temporal continuity.
+            engine.reset_reuse()
         tracer = self.obs.tracer
         clock = tracer.clock
 
@@ -1129,6 +1170,7 @@ class DcsrClient:
                 sp.attrs["flops"] = engine.stats.flops
                 seg_t.sr_tiles += engine.stats.tile_count
                 seg_t.sr_skipped_tiles += engine.stats.skipped_tiles
+                seg_t.sr_reused_tiles += engine.stats.reused_tiles
                 seg_t.sr_flops += engine.stats.flops
             t2 = clock.now()
             out = rgb_to_yuv420(enhanced)
@@ -1183,6 +1225,8 @@ class DcsrClient:
         telemetry.tile_count = sum(s.sr_tiles for s in telemetry.segments)
         telemetry.skipped_tiles = sum(s.sr_skipped_tiles
                                       for s in telemetry.segments)
+        telemetry.reused_tiles = sum(s.sr_reused_tiles
+                                     for s in telemetry.segments)
         sr_flops = sum(s.sr_flops for s in telemetry.segments)
         sr_seconds = telemetry.stage_seconds.get("sr", 0.0)
         if sr_flops and sr_seconds > 0.0:

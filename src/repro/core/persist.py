@@ -25,7 +25,8 @@ from pathlib import Path
 import numpy as np
 
 from ..sr import EDSR, EdsrConfig, SrTrainConfig
-from ..video.codec import CodecConfig, EncodedSegment, EncodedVideo
+from ..video.codec import (CodecConfig, EncodedFrameInfo, EncodedSegment,
+                           EncodedVideo)
 from ..video.segment import Segment
 from .manifest import QuantizationRecord, SegmentRecord, VideoManifest
 
@@ -78,6 +79,13 @@ def save_package(package, root: str | Path) -> Path:
              "model_label": s.model_label}
             for s in manifest.segments
         ],
+        # Per-frame accounting (display, type, coded bits) so loaded
+        # packages keep i_frame_displays / bits_by_type — and so the
+        # fleet's trace-mode SR-demand model can count I frames.
+        "frame_info": {
+            str(s.index): [[f.display, f.ftype, f.n_bits] for f in s.frames]
+            for s in package.encoded.segments
+        },
         "model_sizes": {str(k): v for k, v in manifest.model_sizes.items()},
         "quantization": {
             str(label): {
@@ -214,13 +222,16 @@ def load_package(root: str | Path) -> StoredPackage:
     )
     encoded = EncodedVideo(width=meta["width"], height=meta["height"],
                            fps=meta["fps"], config=codec)
+    frame_info = meta.get("frame_info", {})  # absent in older packages
     segments = []
     for record in manifest.segments:
         payload = (root / "segments"
                    / f"segment-{record.index:04d}.bin").read_bytes()
+        frames = [EncodedFrameInfo(display=d, ftype=t, n_bits=b)
+                  for d, t, b in frame_info.get(str(record.index), [])]
         encoded.segments.append(EncodedSegment(
             index=record.index, start=record.start,
-            n_frames=record.n_frames, payload=payload))
+            n_frames=record.n_frames, payload=payload, frames=frames))
         segments.append(Segment(index=record.index, start=record.start,
                                 end=record.end))
 

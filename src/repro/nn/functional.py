@@ -26,6 +26,10 @@ __all__ = [
     "pack_conv_weight",
     "conv2d_gemm",
     "conv2d_shift_nhwc",
+    "IM2COL_SCRATCH_BYTES",
+    "im2col_block_rows",
+    "conv2d_im2col_nhwc",
+    "conv2d_im2col_nhwc_quant",
     "PRECISIONS",
     "INT8_EXACT_ACC_BOUND",
     "QuantizedConvWeight",
@@ -313,6 +317,103 @@ def conv2d_shift_nhwc(
 
 
 # ---------------------------------------------------------------------------
+# Cache-blocked im2col kernel.
+#
+# The classic im2col trade-off is memory: the patch matrix is KH*KW times
+# the activation, and at frame scale it falls out of L2 long before the
+# GEMM reads it back.  :func:`conv2d_im2col_nhwc` keeps the im2col GEMM
+# shape (one big (M, Cin*KH*KW) @ (Cin*KH*KW, Cout) product, which BLAS
+# likes far better than the shift kernel's KH*KW skinny GEMMs) but
+# materializes the patch matrix one *row block* at a time, sized so the
+# scratch stays inside a fixed budget (:data:`IM2COL_SCRATCH_BYTES`,
+# default 256 KiB — comfortably L2-resident).  Each block is an
+# independent slice of the same GEMM: the sliding windows of an NHWC
+# image flatten in the same ``(Cin, KH, KW)`` K-order ``im2col`` uses,
+# against the same ``packed.mat_t`` operand.
+#
+# Exactness caveat, learned the hard way: BLAS sgemm output *depends on
+# M*.  OpenBLAS switches micro-kernel / threading partition below a
+# shape threshold (measured: M >= ~2560 for K=72, N=8 lands in one
+# regime, smaller M in another), so two fp32 GEMMs over the same operand
+# rows can differ in the last ulp when their M differs.  Consequences:
+#   - fp32/fp16 blocked output matches unblocked within reassociation
+#     tolerance (<= ~5e-6 at unit-scale operands), NOT bitwise in
+#     general — asserted at 1e-5 in tests/nn/test_blocked_gemm.py.
+#   - int8 blocked output IS bitwise-equal to unblocked (and to the
+#     shift kernel) at every block size: integer-valued operands
+#     accumulate exactly under 2^24, so summation order cannot matter.
+
+#: Scratch budget (bytes) for the blocked im2col patch matrix; sized to
+#: stay L2-resident on commodity cores.
+IM2COL_SCRATCH_BYTES = 256 * 1024
+
+
+def im2col_block_rows(w: int, cin: int, kh: int, kw: int,
+                      scratch_bytes: int = IM2COL_SCRATCH_BYTES) -> int:
+    """Output rows per im2col block such that the ``(rows*W, Cin*KH*KW)``
+    float32 scratch fits in ``scratch_bytes`` (always at least one row)."""
+    bytes_per_row = max(1, w * cin * kh * kw * 4)
+    return max(1, scratch_bytes // bytes_per_row)
+
+
+def _im2col_nhwc_blocked(xp: np.ndarray, mat_t: np.ndarray, out: np.ndarray,
+                         kh: int, kw: int, block_rows: int) -> None:
+    """Blocked ``im2col @ mat_t`` over a padded NHWC batch, into ``out``."""
+    n, h, w, cout = out.shape
+    cin = xp.shape[3]
+    for img in range(n):
+        # (H, W, Cin, KH, KW): K-order (Cin, KH, KW) matches ``mat_t``.
+        win = sliding_window_view(xp[img], (kh, kw), axis=(0, 1))
+        out2d = out[img].reshape(h * w, cout)
+        for y0 in range(0, h, block_rows):
+            y1 = min(y0 + block_rows, h)
+            block = win[y0:y1].reshape((y1 - y0) * w, cin * kh * kw)
+            np.matmul(block, mat_t, out=out2d[y0 * w:y1 * w])
+
+
+def _resolve_block_rows(block_rows: int | None, h: int, w: int, cin: int,
+                        kh: int, kw: int) -> int:
+    if block_rows is None:
+        return im2col_block_rows(w, cin, kh, kw)
+    block_rows = int(block_rows)
+    if block_rows == 0:
+        return h                   # unblocked: whole image in one GEMM
+    if block_rows < 0:
+        raise ValueError("block_rows must be >= 0 (0 = unblocked) or None")
+    return block_rows
+
+
+def conv2d_im2col_nhwc(
+    x: np.ndarray, packed: PackedConvWeight, relu: bool = False,
+    residual: np.ndarray | None = None, res_scale: float = 1.0,
+    block_rows: int | None = None,
+) -> np.ndarray:
+    """Cache-blocked im2col convolution over NHWC tensors (stride 1, 'same').
+
+    ``block_rows`` output rows are expanded at a time so the patch matrix
+    scratch stays within :data:`IM2COL_SCRATCH_BYTES` (``None`` derives the
+    block from the budget; ``0`` disables blocking).  Blocks are disjoint
+    row ranges of one GEMM, but BLAS selects M-dependent fp32 kernels, so
+    the blocked result matches the unblocked one (and ``conv2d_forward``)
+    within reassociation tolerance — not bitwise; see the module comment
+    above.  Under int8 quantization the accumulation is exact and every
+    block size is bitwise-identical.  Epilogues are fused as in
+    :func:`conv2d_shift_nhwc`.
+    """
+    kh, kw = packed.kernel
+    n, h, w, cin = x.shape
+    if cin != packed.in_channels:
+        raise ValueError(f"input has {cin} channels, kernel expects "
+                         f"{packed.in_channels}")
+    rows = _resolve_block_rows(block_rows, h, w, cin, kh, kw)
+    xp = np.pad(x, [(0, 0), (kh // 2, kh // 2), (kw // 2, kw // 2), (0, 0)])
+    out = np.empty((n, h, w, packed.out_channels), dtype=np.float32)
+    _im2col_nhwc_blocked(xp, packed.mat_t, out, kh, kw, rows)
+    return _apply_epilogue(out, packed.bias, relu, residual, res_scale,
+                           channel_axis=3)
+
+
+# ---------------------------------------------------------------------------
 # Quantized inference kernels.
 #
 # numpy has no int8 GEMM, so both reduced-precision paths run the actual
@@ -487,6 +588,36 @@ def conv2d_shift_nhwc_quant(
     if qw.scales is not None:
         acc *= x_scale * qw.scales
     return _apply_epilogue(acc, qw.bias, relu, residual, res_scale,
+                           channel_axis=3)
+
+
+def conv2d_im2col_nhwc_quant(
+    x: np.ndarray, qw: QuantizedConvWeight, relu: bool = False,
+    residual: np.ndarray | None = None, res_scale: float = 1.0,
+    block_rows: int | None = None,
+) -> np.ndarray:
+    """Reduced-precision counterpart of :func:`conv2d_im2col_nhwc` (NHWC).
+
+    Activations are quantized once per conv (same per-tensor scale as the
+    shift kernel), then each row block runs the grid-constrained GEMM; for
+    int8 the exact integer accumulator is dequantized before the fused
+    epilogue, so int8 blocked output is bitwise-equal to unblocked at any
+    block size.  fp16 accumulates in general float32 and matches unblocked
+    within reassociation tolerance only (see the module comment above).
+    """
+    kh, kw = qw.kernel
+    n, h, w, cin = x.shape
+    if cin != qw.in_channels:
+        raise ValueError(f"input has {cin} channels, kernel expects "
+                         f"{qw.in_channels}")
+    rows = _resolve_block_rows(block_rows, h, w, cin, kh, kw)
+    xq, x_scale = _quantize_activations(x, qw.precision)
+    xp = np.pad(xq, [(0, 0), (kh // 2, kh // 2), (kw // 2, kw // 2), (0, 0)])
+    out = np.empty((n, h, w, qw.out_channels), dtype=np.float32)
+    _im2col_nhwc_blocked(xp, qw.mat_t, out, kh, kw, rows)
+    if qw.scales is not None:
+        out *= x_scale * qw.scales
+    return _apply_epilogue(out, qw.bias, relu, residual, res_scale,
                            channel_axis=3)
 
 

@@ -53,6 +53,7 @@ import numpy as np
 
 from ..core.client import (
     DcsrClient,
+    FastPathConfig,
     PlaybackResult,
     PlaybackTelemetry,
     PlayoutClock,
@@ -130,6 +131,20 @@ class FleetConfig:
     fallback:
         Per-session model-fetch fallback (play unenhanced instead of
         raising), as in :class:`~repro.core.client.DcsrClient`.
+    fast_path:
+        Optional :class:`~repro.core.client.FastPathConfig` every
+        playback-mode session plays with (tiling, quantized kernels, the
+        skip gate, temporal reuse).  ``None`` keeps the reference SR
+        path.  Ignored in trace mode — see ``sr_demand_factor``.
+    sr_demand_factor:
+        Trace mode's model of the client fast path: the fraction of a
+        session's *nominal* per-I-frame SR FLOPs it would actually
+        execute (1.0 = ungated reference compute; a gated + reusing
+        client measured at, say, 60% skipped and 30% reused demands
+        0.1).  Trace sessions do no media compute, but they report the
+        modeled demand per segment (``SegmentPlayback.sr_flops``) and
+        the fleet aggregates it — so ``cli serve`` capacity numbers
+        reflect what reuse/gating save across thousands of sessions.
     seed:
         Fleet seed: drives the arrival schedule and derives each
         session's private failure-RNG stream.
@@ -152,9 +167,17 @@ class FleetConfig:
     max_batch: int = 8
     max_wait_s: float = 0.002
     fallback: bool = False
+    fast_path: FastPathConfig | None = None
+    sr_demand_factor: float = 1.0
     seed: int = 0
 
     def __post_init__(self):
+        if self.fast_path is not None \
+                and not isinstance(self.fast_path, FastPathConfig):
+            raise TypeError("fast_path must be a FastPathConfig or None")
+        if not 0.0 <= self.sr_demand_factor <= 1.0:
+            raise ValueError(f"sr_demand_factor must be in [0, 1], "
+                             f"got {self.sr_demand_factor}")
         if self.sessions < 1:
             raise ValueError(f"sessions must be >= 1, got {self.sessions}")
         if self.mode not in FLEET_MODES:
@@ -259,6 +282,10 @@ class FleetTelemetry:
     peak_network_concurrency: int = 0
     #: Simulated seconds sessions idled in their token buckets.
     rate_limit_wait_s: float = 0.0
+    #: SR FLOPs across sessions: executed (playback mode, where gates and
+    #: reuse reduce it directly) or modeled nominal demand scaled by
+    #: :attr:`FleetConfig.sr_demand_factor` (trace mode).
+    total_sr_flops: float = 0.0
     #: Discrete events the loop processed, and the sim instant it ended.
     events_processed: int = 0
     sim_duration_s: float = 0.0
@@ -287,6 +314,10 @@ class FleetTelemetry:
         if self.rate_limit_wait_s:
             rows.append(["ratelimit",
                          f"{self.rate_limit_wait_s:.2f}s total bucket wait"])
+        if self.total_sr_flops:
+            rows.append(["sr demand",
+                         f"{self.total_sr_flops / 1e9:.2f} GFLOP "
+                         f"across sessions"])
         if self.cache_admission_denied:
             rows.append(["admission(edge)",
                          f"{self.cache_admission_denied} models not stored"])
@@ -350,6 +381,36 @@ class FleetSimulator:
             max_batch=config.max_batch, max_wait_s=config.max_wait_s,
             obs=self.obs) if config.batching else None)
         self.loop: EventLoop | None = None
+        self._fpp_cache: dict[int, float] = {}
+
+    def _i_frames_in(self, encoded_segment) -> int:
+        """I-frame count of a segment: from its per-frame metadata when
+        present, else re-derived from the GOP plan (packages saved
+        before frame info was persisted load with empty ``frames``)."""
+        if encoded_segment.frames:
+            return sum(1 for fr in encoded_segment.frames
+                       if fr.ftype == "I")
+        from ..video.codec.gop import plan_segment
+        codec = self.package.encoded.config
+        plans = plan_segment(encoded_segment.start,
+                             encoded_segment.n_frames,
+                             codec.n_b_frames, codec.extra_i_interval)
+        return sum(1 for plan in plans if plan.ftype == "I")
+
+    def _flops_per_pixel(self, label: int) -> float:
+        """Nominal forward FLOPs/input-pixel of one model label (trace
+        mode's SR-demand model; cached per label)."""
+        fpp = self._fpp_cache.get(label)
+        if fpp is None:
+            models = getattr(self.package, "models", None)
+            model = models.get(label) if models is not None else None
+            if model is None:
+                fpp = 0.0
+            else:
+                from ..sr.engine import InferenceEngine
+                fpp = InferenceEngine(model).flops_per_pixel()
+            self._fpp_cache[label] = fpp
+        return fpp
 
     # -------------------------------------------------------------- admission
 
@@ -449,6 +510,7 @@ class FleetSimulator:
             retry=RetryPolicy(retries=self.config.retries),
             fallback=self.config.fallback,
             obs=self.obs,
+            fast_path=self.config.fast_path,
             model_cache=self.cache.edge_for(shell.session_id),
             engine_provider=(self.batcher.engine_for
                              if self.batcher is not None else None),
@@ -539,6 +601,19 @@ class FleetSimulator:
                 if acquired:
                     cache.release(label)
 
+            if seg_t.status == "ok":
+                # Trace mode skips decode/SR, so model the segment's SR
+                # demand instead: one forward per I-frame (dcSR enhances
+                # I-frames only), scaled by sr_demand_factor — the fleet
+                # knob for fast-path savings (skip gate + temporal reuse)
+                # measured in playback mode or via calibrate_reuse.
+                n_i = self._i_frames_in(encoded_segment)
+                fpp = self._flops_per_pixel(label)
+                seg_t.sr_inferences = n_i
+                seg_t.sr_flops = (fpp * package.encoded.width
+                                  * package.encoded.height * n_i
+                                  * config.sr_demand_factor)
+
             playout.segment_ready(seg_t.download_s, segment.n_frames)
 
         telemetry.startup_seconds = playout.startup_s
@@ -593,6 +668,8 @@ class FleetSimulator:
             result = shell.result
             t.total_model_bytes += result.model_bytes
             t.total_video_bytes += result.video_bytes
+            t.total_sr_flops += sum(s.sr_flops
+                                    for s in result.telemetry.segments)
             goodputs.append(session_goodput_bps(result))
             stall_ratios.append(stall_ratio(result.telemetry))
             stalls.append(result.telemetry.stall_seconds)
@@ -623,6 +700,10 @@ class FleetSimulator:
         metrics.counter("dcsr_fleet_events_total",
                         "Discrete events processed by the fleet loop"
                         ).inc(t.events_processed)
+        if t.total_sr_flops:
+            metrics.counter("dcsr_fleet_sr_flops_total",
+                            "SR FLOPs demanded across fleet sessions"
+                            ).inc(t.total_sr_flops)
         for seconds in stalls:
             metrics.histogram("dcsr_fleet_stall_seconds",
                               "Per-session simulated stall seconds"

@@ -14,10 +14,11 @@ from .configs import (
     dcsr_config,
 )
 from .edsr import EDSR, EdsrConfig
-from .engine import (EngineStats, InferenceEngine, SkipGateConfig,
+from .engine import (ENGINE_KERNELS, EngineStats, InferenceEngine,
+                     SkipGateConfig, TileReuseCache, TileReuseConfig,
                      receptive_field_radius)
-from .quantize import (QUANT_PRECISIONS, CalibrationResult,
-                       calibrate_quantized)
+from .quantize import (QUANT_PRECISIONS, CalibrationResult, ReuseCalibration,
+                       calibrate_quantized, calibrate_reuse)
 from .min_model import (
     MinModelSearch,
     config_grid,
@@ -39,9 +40,14 @@ __all__ = [
     "InferenceEngine",
     "EngineStats",
     "SkipGateConfig",
+    "TileReuseConfig",
+    "TileReuseCache",
+    "ENGINE_KERNELS",
     "QUANT_PRECISIONS",
     "CalibrationResult",
     "calibrate_quantized",
+    "ReuseCalibration",
+    "calibrate_reuse",
     "receptive_field_radius",
     "BicubicSR",
     "DCSR_CONFIGS",

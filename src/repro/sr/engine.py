@@ -35,6 +35,9 @@ out across a thread pool (the GEMMs release the GIL).
 from __future__ import annotations
 
 import math
+import threading
+import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -45,7 +48,12 @@ from ..video.sampling import upscale
 from .edsr import _PIXEL_SHIFT, EDSR, EdsrConfig
 
 __all__ = ["InferenceEngine", "EngineStats", "SkipGateConfig",
+           "TileReuseConfig", "TileReuseCache", "ENGINE_KERNELS",
            "receptive_field_radius"]
+
+#: Conv kernels the engine can route the fused plan through: the
+#: tap-decomposed shift kernel (default) or the cache-blocked im2col GEMM.
+ENGINE_KERNELS = ("shift", "blocked")
 
 
 def receptive_field_radius(config: EdsrConfig) -> int:
@@ -94,21 +102,121 @@ class SkipGateConfig:
             raise ValueError("var_threshold must be >= 0")
 
 
+@dataclass(frozen=True)
+class TileReuseConfig:
+    """Temporal reuse gate: emit the previous frame's SR output for tiles
+    whose decoded LR content did not change.
+
+    ``tolerance`` is the max-abs-diff (in [0, 1] intensity units) under
+    which a tile still counts as "the same content".  At the default
+    ``0.0`` the engine reuses only on *bitwise-identical* LR content, which
+    makes the enhanced output bitwise-identical to running without reuse;
+    a small positive tolerance (e.g. ``2/255``) also reuses across sensor /
+    codec noise on near-static content and carries a calibrated PSNR
+    budget (see :func:`repro.sr.calibrate_reuse`), mirroring how quantized
+    precisions carry theirs.
+
+    ``max_tiles`` bounds the cache (LRU eviction); it is the number of
+    resident tile entries, each holding one halo-expanded LR region and
+    its SR output.  The budget is mandatory — an unbounded cache in a
+    long-lived player session is a memory leak, and a tier-1 guard rejects
+    unbounded construction in non-test code.
+    """
+
+    tolerance: float = 0.0
+    max_tiles: int = 256
+
+    def __post_init__(self):
+        if self.tolerance < 0.0:
+            raise ValueError("tolerance must be >= 0")
+        if self.max_tiles is None or int(self.max_tiles) < 1:
+            raise ValueError("max_tiles must be a positive tile budget "
+                             "(the reuse cache is always bounded)")
+
+
+@dataclass
+class _ReuseEntry:
+    """One cached tile: interior fingerprint, halo-expanded LR region, and
+    the SR output emitted for it."""
+
+    fingerprint: int
+    region: np.ndarray
+    output: np.ndarray
+
+
+def _tile_fingerprint(interior: np.ndarray) -> int:
+    """Cheap rolling hash (crc32) over a tile's interior bytes — the
+    quick-reject for exact-mode cache lookups."""
+    return zlib.crc32(np.ascontiguousarray(interior))
+
+
+class TileReuseCache:
+    """Bounded per-engine LRU cache of tile LR content and SR output.
+
+    Keys are tile spans ``(y0, y1, x0, x1)`` in input coordinates, so the
+    grid of one frame size maps to stable slots.  ``max_tiles`` is
+    mandatory; insertion past the budget evicts the least recently used
+    entry, and :attr:`peak_resident` records the high-water mark (never
+    above the budget).  Thread-safe: tile workers of one engine call may
+    look up and store concurrently.
+    """
+
+    def __init__(self, max_tiles: int):
+        if max_tiles is None:
+            raise ValueError("TileReuseCache requires a tile budget "
+                             "(max_tiles); unbounded caches are not allowed")
+        max_tiles = int(max_tiles)
+        if max_tiles < 1:
+            raise ValueError("max_tiles must be >= 1")
+        self.max_tiles = max_tiles
+        self.peak_resident = 0
+        self._entries: OrderedDict[tuple, _ReuseEntry] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> _ReuseEntry | None:
+        """The entry under ``key`` (refreshed as most recently used)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: tuple, entry: _ReuseEntry) -> None:
+        """Insert/replace ``key``, evicting LRU entries past the budget."""
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_tiles:
+                self._entries.popitem(last=False)
+            self.peak_resident = max(self.peak_resident, len(self._entries))
+
+    def reset(self) -> None:
+        """Drop every entry (segment/GOP boundary, seek, concealment)."""
+        with self._lock:
+            self._entries.clear()
+
+
 @dataclass
 class EngineStats:
     """Counters from the most recent :meth:`InferenceEngine.enhance` call.
 
     ``tile_count`` counts (frame, tile) pairs that ran through the model —
     a whole-frame batch of N frames counts N, an N-frame call over a
-    T-tile grid counts up to ``N * T`` — and ``skipped_tiles`` counts the
-    (frame, tile) pairs the variance gate routed to bicubic instead, so
-    ``tile_count + skipped_tiles == N * T`` always holds.
+    T-tile grid counts up to ``N * T``.  ``skipped_tiles`` counts the
+    (frame, tile) pairs the variance gate routed to bicubic instead, and
+    ``reused_tiles`` the pairs emitted from the temporal reuse cache, so
+    the three-way gate invariant
+    ``tile_count + skipped_tiles + reused_tiles == N * T`` always holds.
     """
 
     tile_count: int = 0
     frames: int = 0
     flops: float = 0.0
     skipped_tiles: int = 0
+    reused_tiles: int = 0
 
     def per_frame(self, index: int = 0) -> "EngineStats":
         """Frame ``index``'s share of a batched call's counters.
@@ -127,7 +235,8 @@ class EngineStats:
 
         return EngineStats(tile_count=split(self.tile_count), frames=1,
                            flops=self.flops / f,
-                           skipped_tiles=split(self.skipped_tiles))
+                           skipped_tiles=split(self.skipped_tiles),
+                           reused_tiles=split(self.reused_tiles))
 
 
 class InferenceEngine:
@@ -163,11 +272,24 @@ class InferenceEngine:
         ``None`` (default — off, the execution path is unchanged) or a
         :class:`SkipGateConfig` / plain variance threshold routing
         low-detail tiles to bicubic upscaling.
+    reuse:
+        ``None`` (default — off) or a :class:`TileReuseConfig` / ``True``
+        (exact mode) / plain float tolerance enabling the temporal tile
+        reuse cache.  The three gates share one dispatch path per tile:
+        ``reuse`` (emit cached SR output for unchanged content) →
+        ``skip`` (bicubic for low-detail) → the (possibly quantized) conv
+        stack.  Exact mode is bitwise-identical to running without reuse.
+    kernel:
+        ``"shift"`` (default, the tap-decomposed kernel — bitwise-identical
+        to previous engines) or ``"blocked"`` — the cache-blocked im2col
+        GEMM (:func:`repro.nn.functional.conv2d_im2col_nhwc`).
     """
 
     def __init__(self, model: EDSR, tile: int | None = None,
                  threads: int = 1, obs=None, precision: str = "fp32",
-                 skip_gate: SkipGateConfig | float | None = None):
+                 skip_gate: SkipGateConfig | float | None = None,
+                 reuse: TileReuseConfig | float | bool | None = None,
+                 kernel: str = "shift"):
         if tile is not None and tile < 1:
             raise ValueError("tile must be >= 1 pixel")
         if threads < 1:
@@ -175,21 +297,48 @@ class InferenceEngine:
         if precision not in F.PRECISIONS:
             raise ValueError(f"unknown precision {precision!r}; "
                              f"expected one of {F.PRECISIONS}")
+        if kernel not in ENGINE_KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; "
+                             f"expected one of {ENGINE_KERNELS}")
         if isinstance(skip_gate, (int, float)) and not isinstance(skip_gate, bool):
             skip_gate = SkipGateConfig(var_threshold=float(skip_gate))
         if skip_gate is not None and not isinstance(skip_gate, SkipGateConfig):
             raise TypeError("skip_gate must be a SkipGateConfig, a float "
                             "threshold, or None")
+        if reuse is True:
+            reuse = TileReuseConfig()
+        elif reuse is False:
+            reuse = None
+        elif isinstance(reuse, (int, float)) and not isinstance(reuse, bool):
+            reuse = TileReuseConfig(tolerance=float(reuse))
+        if reuse is not None and not isinstance(reuse, TileReuseConfig):
+            raise TypeError("reuse must be a TileReuseConfig, a float "
+                            "tolerance, a bool, or None")
         self.model = model
         self.tile = tile
         self.threads = int(threads)
         self.obs = obs
         self.precision = precision
         self.skip_gate = skip_gate
+        self.reuse = reuse
+        self.kernel = kernel
+        self.reuse_cache = (TileReuseCache(reuse.max_tiles)
+                            if reuse is not None else None)
         self.halo = receptive_field_radius(model.config)
         self.scale = model.config.scale
         self.stats = EngineStats()
         self._plan = self._build_plan(model)
+
+    def reset_reuse(self) -> None:
+        """Invalidate the temporal reuse cache.
+
+        Call at segment/GOP boundaries, seeks, and after concealment — any
+        point where "same tile content as the previous frame" stops
+        implying "same enhanced output is correct".  A no-op when reuse is
+        off.
+        """
+        if self.reuse_cache is not None:
+            self.reuse_cache.reset()
 
     def _count_stats(self) -> None:
         if self.obs is None:
@@ -205,6 +354,10 @@ class InferenceEngine:
             metrics.counter("dcsr_sr_skipped_tiles_total",
                             "SR tiles routed to bicubic by the skip gate"
                             ).inc(self.stats.skipped_tiles)
+        if self.stats.reused_tiles:
+            metrics.counter("dcsr_sr_reused_tiles_total",
+                            "SR tiles emitted from the temporal reuse cache"
+                            ).inc(self.stats.reused_tiles)
 
     # ------------------------------------------------------------- planning
 
@@ -265,7 +418,12 @@ class InferenceEngine:
     def _forward(self, x: np.ndarray) -> np.ndarray:
         """Run the fused plan on one NHWC tensor (a frame batch or a tile)."""
         p = self.precision
-        conv = F.conv2d_shift_nhwc if p == "fp32" else F.conv2d_shift_nhwc_quant
+        if self.kernel == "blocked":
+            conv = F.conv2d_im2col_nhwc if p == "fp32" \
+                else F.conv2d_im2col_nhwc_quant
+        else:
+            conv = F.conv2d_shift_nhwc if p == "fp32" \
+                else F.conv2d_shift_nhwc_quant
         x = conv(x - _PIXEL_SHIFT, self._plan[0][1].packed(p))  # head
         skip = x                                                # global skip
         for op in self._plan[1:]:
@@ -295,8 +453,8 @@ class InferenceEngine:
         n, h, w, _ = x.shape
         s = self.scale
         fpp = self.flops_per_pixel()
-        if self.skip_gate is not None:
-            return self._infer_gated(x)
+        if self.skip_gate is not None or self.reuse is not None:
+            return self._infer_tiles(x)
         if self.tile is None or (self.tile >= h and self.tile >= w):
             # Whole-frame: every frame is one (frame, tile) execution.
             self.stats = EngineStats(tile_count=n, frames=n,
@@ -343,42 +501,121 @@ class InferenceEngine:
         self._count_stats()
         return out
 
-    def _infer_gated(self, x: np.ndarray) -> np.ndarray:
-        """Tiled execution with the variance gate deciding, per (frame,
-        tile) pair, between the model and bicubic upscaling."""
+    def _infer_tiles(self, x: np.ndarray) -> np.ndarray:
+        """Tiled execution with the gates deciding, per (frame, tile) pair,
+        between the reuse cache, bicubic upscaling, and the conv stack.
+
+        The three gates share this one dispatch path: temporal reuse runs
+        first (a tile whose halo-expanded LR content matches the previous
+        anchor emits the anchor's SR output), the variance skip gate next
+        (bicubic for low-detail tiles), and whatever survives runs through
+        the (possibly quantized) GEMM kernels in one stacked forward.
+
+        Exact-mode reuse (tolerance 0) is bitwise-identical to running
+        without reuse: content is compared over the *halo-expanded* region
+        — everything the tile's output depends on — and the batched GEMMs
+        compute each frame's slice independently, so removing reused
+        frames from the batch does not change the surviving frames' bits.
+        Within a batch, frame ``i`` compares against the most recent
+        anchor (the last frame that produced fresh output), so tolerance
+        mode measures drift against real content, not an accumulating
+        chain of approximations.
+        """
         n, h, w, _ = x.shape
         s = self.scale
         fpp = self.flops_per_pixel()
         halo = self.halo
-        threshold = self.skip_gate.var_threshold
+        gate = self.skip_gate
+        cache = self.reuse_cache
+        tolerance = self.reuse.tolerance if self.reuse is not None else 0.0
         spans = self._tile_spans(h, w)
         out = np.empty((n, h * s, w * s, self.model.config.in_channels),
                        dtype=np.float32)
         ran = [0] * len(spans)
+        hits = [0] * len(spans)
         flops = [0.0] * len(spans)
+
+        def matches(a: np.ndarray, b: np.ndarray) -> bool:
+            if a.shape != b.shape:
+                return False
+            if tolerance == 0.0:
+                return bool(np.array_equal(a, b))
+            return bool(np.max(np.abs(a - b)) <= tolerance)
 
         def run_tile(item):
             idx, (y0, y1, x0, x1) = item
+            ey0, ex0 = max(0, y0 - halo), max(0, x0 - halo)
+            ey1, ex1 = min(h, y1 + halo), min(w, x1 + halo)
+            region = x[:, ey0:ey1, ex0:ex1, :]
             interior = x[:, y0:y1, x0:x1, :]
-            # Variance of the channel-mean tile interior, per frame.
-            variance = interior.mean(axis=3).var(axis=(1, 2))
-            run = variance >= threshold
+            oy = slice(y0 * s, y1 * s)
+            ox = slice(x0 * s, x1 * s)
+            ry = slice((y0 - ey0) * s, (y1 - ey0) * s)
+            rx = slice((x0 - ex0) * s, (x1 - ex0) * s)
+
+            # Gate 1: temporal reuse.  Each frame compares against the
+            # current anchor — the cache entry from the previous call, then
+            # the last in-batch frame that produced fresh output.
+            fresh = np.ones(n, dtype=bool)
+            anchor_of = np.full(n, -1, dtype=np.int64)   # -2 = cache entry
+            entry = None
+            if cache is not None:
+                key = (y0, y1, x0, x1)
+                entry = cache.get(key)
+                anchor_region = entry.region if entry is not None else None
+                anchor_idx = -2
+                for fi in range(n):
+                    if anchor_region is None:
+                        anchor_region, anchor_idx = region[fi], fi
+                        continue
+                    hit = False
+                    if anchor_idx == -2 and tolerance == 0.0:
+                        # crc32 interior fingerprint quick-rejects before
+                        # the full halo-region compare confirms.
+                        hit = (entry.fingerprint
+                               == _tile_fingerprint(interior[fi])
+                               and matches(region[fi], anchor_region))
+                    else:
+                        hit = matches(region[fi], anchor_region)
+                    if hit:
+                        fresh[fi] = False
+                        anchor_of[fi] = anchor_idx
+                    else:
+                        anchor_region, anchor_idx = region[fi], fi
+
+            # Gate 2: the variance skip gate, on fresh frames only.
+            run = fresh
+            skip = np.zeros(n, dtype=bool)
+            if gate is not None:
+                # Variance of the channel-mean tile interior, per frame.
+                variance = interior.mean(axis=3).var(axis=(1, 2))
+                skip = fresh & (variance < gate.var_threshold)
+                run = fresh & ~skip
+
+            # Gate 3: the conv stack on whatever survived, in one batch.
             n_run = int(run.sum())
             ran[idx] = n_run
+            hits[idx] = n - n_run - int(skip.sum())
             if n_run:
-                ey0, ex0 = max(0, y0 - halo), max(0, x0 - halo)
-                ey1, ex1 = min(h, y1 + halo), min(w, x1 + halo)
-                result = self._forward(x[:, ey0:ey1, ex0:ex1, :][run])
-                out[run, y0 * s:y1 * s, x0 * s:x1 * s, :] = result[
-                    :, (y0 - ey0) * s:(y1 - ey0) * s,
-                    (x0 - ex0) * s:(x1 - ex0) * s, :]
+                result = self._forward(region[run])
+                out[run, oy, ox, :] = result[:, ry, rx, :]
                 flops[idx] = fpp * n_run * (ey1 - ey0) * (ex1 - ex0)
-            for fi in np.nonzero(~run)[0]:
+            for fi in np.nonzero(skip)[0]:
                 if s == 1:
-                    out[fi, y0:y1, x0:x1, :] = interior[fi]
+                    out[fi, oy, ox, :] = interior[fi]
                 else:
-                    out[fi, y0 * s:y1 * s, x0 * s:x1 * s, :] = upscale(
-                        interior[fi], s)
+                    out[fi, oy, ox, :] = upscale(interior[fi], s)
+            if cache is None:
+                return
+            for fi in np.nonzero(~fresh)[0]:
+                src = anchor_of[fi]
+                out[fi, oy, ox, :] = (entry.output if src == -2
+                                      else out[src, oy, ox, :])
+            if anchor_idx != -2:
+                cache.put(key, _ReuseEntry(
+                    fingerprint=_tile_fingerprint(interior[anchor_idx]),
+                    region=region[anchor_idx].copy(),
+                    output=out[anchor_idx, oy, ox, :].copy()))
 
         items = list(enumerate(spans))
         if self.threads > 1 and len(spans) > 1:
@@ -392,10 +629,11 @@ class InferenceEngine:
         else:
             for item in items:
                 run_tile(item)
-        executed = sum(ran)
-        self.stats = EngineStats(tile_count=executed, frames=n,
-                                 flops=sum(flops),
-                                 skipped_tiles=n * len(spans) - executed)
+        executed, reused = sum(ran), sum(hits)
+        self.stats = EngineStats(
+            tile_count=executed, frames=n, flops=sum(flops),
+            skipped_tiles=n * len(spans) - executed - reused,
+            reused_tiles=reused)
         self._count_stats()
         return out
 

@@ -244,3 +244,70 @@ class TestFastPathTelemetry:
                                                        small_clip):
         result = _play(package, small_clip.frames, FastPathConfig())
         assert result.telemetry.tile_count == result.sr_inferences
+
+
+class TestTemporalReusePlayback:
+    def test_exact_reuse_is_bitwise_invisible(self, package, small_clip):
+        """`--reuse` in exact mode never changes a played frame: outputs
+        equal the reuse-free fast path bit for bit, whether or not any
+        tile actually rode the cache."""
+        plain = _play(package, small_clip.frames, FastPathConfig())
+        reused = _play(package, small_clip.frames,
+                       FastPathConfig(reuse=True))
+        assert len(plain.frames) == len(reused.frames)
+        for ours, theirs in zip(reused.frames, plain.frames):
+            assert np.array_equal(ours, theirs)
+
+    def test_reuse_off_matches_default_fast_path(self, package, small_clip):
+        """reuse=None and reuse=False are the PR-7 engine, bit for bit."""
+        base = _play(package, small_clip.frames, FastPathConfig())
+        for off in (None, False):
+            out = _play(package, small_clip.frames,
+                        FastPathConfig(reuse=off))
+            assert out.telemetry.reused_tiles == 0
+            for ours, theirs in zip(out.frames, base.frames):
+                assert np.array_equal(ours, theirs)
+
+    def test_blocked_kernel_playback_matches_shift(self, package,
+                                                   small_clip):
+        """Kernel choice is a scheduling knob: blocked GEMM playback
+        agrees with the shift kernel at the uint8 level (1-LSB slack for
+        float reassociation at quantization boundaries)."""
+        shift = _play(package, small_clip.frames, FastPathConfig())
+        blocked = _play(package, small_clip.frames,
+                        FastPathConfig(kernel="blocked"))
+        for ours, theirs in zip(blocked.frames, shift.frames):
+            diff = np.abs(ours.astype(np.int16) - theirs.astype(np.int16))
+            assert diff.max() <= 1
+
+    def test_segment_boundary_resets_the_cache(self, package):
+        """A new segment means a new model and a GOP boundary — the hook
+        factory must clear the reuse cache before the segment decodes."""
+        from repro.core.client import SegmentPlayback
+
+        client = DcsrClient(package,
+                            fast_path=FastPathConfig(reuse=True))
+        label = package.manifest.model_label_for(0)
+        model = package.models[label]
+        engine = client._engine_for(model)
+        frame = np.random.default_rng(31).random((24, 32, 3),
+                                                 dtype=np.float32)
+        engine.enhance(frame)
+        assert len(engine.reuse_cache) > 0
+        client._timed_hook(model, SegmentPlayback(index=1))
+        assert len(engine.reuse_cache) == 0
+
+    def test_reuse_telemetry_rolls_up(self, package, small_clip):
+        result = _play(package, small_clip.frames,
+                       FastPathConfig(reuse=True))
+        t = result.telemetry
+        assert t.reused_tiles == sum(s.sr_reused_tiles for s in t.segments)
+        # The three-way partition holds at session scope too.
+        assert t.tile_count + t.skipped_tiles + t.reused_tiles > 0
+
+    def test_reuse_validation(self, package):
+        with pytest.raises(ValueError, match="sr_batch"):
+            DcsrClient(package,
+                       fast_path=FastPathConfig(reuse=True, sr_batch=2))
+        with pytest.raises(ValueError, match="tolerance"):
+            DcsrClient(package, fast_path=FastPathConfig(reuse=-0.5))

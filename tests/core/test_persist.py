@@ -84,6 +84,30 @@ class TestPersistence:
         assert loaded.manifest.model_size_for(label, "int8") == \
             loaded.manifest.model_sizes[label]
 
+    def test_frame_info_roundtrips(self, package, tmp_path):
+        """Per-frame metadata (display/type/bits) survives save/load —
+        a loaded package keeps i_frame_displays and bits_by_type, and
+        the fleet's trace mode can count I frames for SR demand."""
+        save_package(package, tmp_path / "pkg")
+        loaded = load_package(tmp_path / "pkg")
+        for a, b in zip(package.encoded.segments, loaded.encoded.segments):
+            assert [(f.display, f.ftype, f.n_bits) for f in a.frames] == \
+                [(f.display, f.ftype, f.n_bits) for f in b.frames]
+            assert a.i_frame_displays == b.i_frame_displays
+            assert b.i_frame_displays      # at least the closed-GOP opener
+        assert loaded.encoded.bits_by_type() == package.encoded.bits_by_type()
+
+    def test_legacy_package_without_frame_info_loads(self, package,
+                                                     tmp_path):
+        """Packages written before frame_info was persisted load with
+        empty frame lists, as before — not a failure."""
+        root = save_package(package, tmp_path / "pkg")
+        meta = json.loads((root / "manifest.json").read_text())
+        meta.pop("frame_info", None)
+        (root / "manifest.json").write_text(json.dumps(meta))
+        loaded = load_package(root)
+        assert all(seg.frames == [] for seg in loaded.encoded.segments)
+
     def test_missing_manifest_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_package(tmp_path / "nope")

@@ -60,6 +60,12 @@ class TestArrivalSchedules:
             FleetConfig(admission="drop")
         with pytest.raises(ValueError, match="max_sessions"):
             FleetConfig(max_sessions=0)
+        with pytest.raises(ValueError, match="sr_demand_factor"):
+            FleetConfig(sr_demand_factor=1.5)
+        with pytest.raises(ValueError, match="sr_demand_factor"):
+            FleetConfig(sr_demand_factor=-0.1)
+        with pytest.raises(TypeError, match="fast_path"):
+            FleetConfig(fast_path="int8")
 
 
 class TestAdmissionControl:
@@ -170,6 +176,81 @@ class TestFleetIntegration:
         # The bounded shared cache stayed within its limit.
         assert len(fleet.obs.metrics.metrics()) > 0
         assert t.stall_cdf[-1][1] == 1.0
+
+
+class TestFleetSrDemand:
+    def test_trace_mode_models_sr_demand_per_i_frame(self, package):
+        """Trace sessions skip SR compute but account its nominal demand:
+        one forward per I-frame at the package's frame geometry."""
+        fleet = FleetSimulator(
+            package, FleetConfig(sessions=3, mode="trace")).run()
+        t = fleet.telemetry
+        assert t.total_sr_flops > 0
+        n_i = sum(sum(1 for f in seg.frames if f.ftype == "I")
+                  for seg in package.encoded.segments)
+        per_session = t.total_sr_flops / 3
+        # Demand scales with I-frame count and frame area; exact FLOPs
+        # come from the engine's own accounting, asserted via scaling
+        # below rather than re-deriving the constant here.
+        assert n_i > 0
+        assert per_session > 0
+        assert any("sr demand" in str(row) for row in t.summary_lines())
+
+    def test_trace_demand_survives_save_load(self, package, tmp_path):
+        """The regression that motivated persisting frame_info: a fleet
+        over a from-disk package (the `cli serve` path) must report the
+        same SR demand as the in-memory package — and even a legacy
+        package without frame metadata re-derives I-frame counts from
+        the GOP plan instead of silently reporting zero."""
+        import json
+
+        from repro.core import load_package, save_package
+
+        in_memory = FleetSimulator(
+            package, FleetConfig(sessions=2, mode="trace")).run()
+        root = save_package(package, tmp_path / "pkg")
+        reloaded = FleetSimulator(
+            load_package(root), FleetConfig(sessions=2, mode="trace")).run()
+        assert reloaded.telemetry.total_sr_flops == \
+            in_memory.telemetry.total_sr_flops
+
+        meta = json.loads((root / "manifest.json").read_text())
+        meta.pop("frame_info", None)
+        (root / "manifest.json").write_text(json.dumps(meta))
+        legacy = FleetSimulator(
+            load_package(root), FleetConfig(sessions=2, mode="trace")).run()
+        assert legacy.telemetry.total_sr_flops == \
+            in_memory.telemetry.total_sr_flops
+
+    def test_demand_factor_scales_trace_flops_linearly(self, package):
+        full = FleetSimulator(
+            package, FleetConfig(sessions=2, mode="trace")).run()
+        scaled = FleetSimulator(
+            package, FleetConfig(sessions=2, mode="trace",
+                                 sr_demand_factor=0.25)).run()
+        assert scaled.telemetry.total_sr_flops == pytest.approx(
+            0.25 * full.telemetry.total_sr_flops)
+        counter = scaled.obs.metrics.counter("dcsr_fleet_sr_flops_total")
+        assert counter.value() == pytest.approx(
+            scaled.telemetry.total_sr_flops)
+
+    def test_playback_fast_path_threads_to_every_session(self, package):
+        """A fleet-wide FastPathConfig reaches each session's client: the
+        fleet's frames equal a solo fast-path client's frames bitwise,
+        and executed SR FLOPs land in the rollup."""
+        solo = DcsrClient(
+            package, fast_path=FastPathConfig(reuse=True)).play()
+        fleet = FleetSimulator(
+            package,
+            FleetConfig(sessions=2,
+                        fast_path=FastPathConfig(reuse=True))).run()
+        t = fleet.telemetry
+        assert t.total_sr_flops > 0
+        for shell in fleet.completed():
+            assert shell.result.telemetry.reused_tiles == \
+                solo.telemetry.reused_tiles
+            for ours, theirs in zip(shell.result.frames, solo.frames):
+                assert np.array_equal(ours, theirs)
 
 
 class TestBatchingEngine:

@@ -1,0 +1,84 @@
+"""Static guard: the temporal reuse cache is never built unbounded.
+
+``TileReuseCache`` holds a full SR output tile per entry — at 352x640
+and scale 2 each anchor is megabytes, so an unbounded cache is a session
+memory leak that grows with content diversity.  The constructor rejects
+``None`` and non-positive budgets at runtime; this AST walk makes the
+mistake structurally impossible in library code: every construction site
+under ``src/repro`` must pass an explicit bound, and never the constant
+``None`` (mirrors ``tests/nn/test_no_quant_in_training.py``).
+"""
+
+import ast
+from pathlib import Path
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).parent
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _is_none(node: ast.expr | None) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _violations(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name == "TileReuseCache":
+            bound = node.args[0] if node.args else next(
+                (kw.value for kw in node.keywords
+                 if kw.arg == "max_tiles"), None)
+            if bound is None or _is_none(bound):
+                out.append(f"{path}:{node.lineno} builds TileReuseCache "
+                           "without an explicit bound")
+        elif name == "TileReuseConfig":
+            for kw in node.keywords:
+                if kw.arg == "max_tiles" and _is_none(kw.value):
+                    out.append(f"{path}:{node.lineno} passes "
+                               "max_tiles=None to TileReuseConfig")
+    return out
+
+
+def test_library_never_builds_an_unbounded_reuse_cache():
+    sources = sorted(SRC_ROOT.rglob("*.py"))
+    assert sources, f"no sources under {SRC_ROOT}"
+    problems = [v for src in sources for v in _violations(src)]
+    assert not problems, (
+        "the reuse cache must always carry an explicit entry budget:\n  "
+        + "\n  ".join(problems))
+
+
+def test_guard_catches_a_missing_bound(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("from repro.sr import TileReuseCache\n"
+                   "cache = TileReuseCache()\n")
+    assert _violations(bad)
+
+
+def test_guard_catches_an_explicit_none(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import repro.sr as sr\n"
+                   "cache = sr.TileReuseCache(None)\n"
+                   "cfg = sr.TileReuseConfig(max_tiles=None)\n")
+    assert len(_violations(bad)) == 2
+
+
+def test_guard_accepts_bounded_constructions(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text("from repro.sr import TileReuseCache, TileReuseConfig\n"
+                    "cache = TileReuseCache(256)\n"
+                    "other = TileReuseCache(max_tiles=budget)\n"
+                    "cfg = TileReuseConfig(max_tiles=64)\n")
+    assert not _violations(good)
