@@ -1,0 +1,214 @@
+"""Joint controller frontier: quality-per-joule versus stall ratio.
+
+Builds one tiered package (three dcSR tiers per cluster), measures a real
+three-rung CRF ladder over its segments, and streams it through the ABR
+session simulator under three policies per (device class, network trace)
+cell:
+
+- **joint** — :class:`GreedyKnapsackController` under a per-device
+  session-average power budget;
+- **rung-only** — throughput ABR with SR off (the classic baseline);
+- **sr-always** — throughput ABR with SR pinned on at the largest tier
+  (what a controller-free dcSR client would do).
+
+The frontier lands in ``bench_results/control.json``.  The acceptance
+assertion: on every device class and every trace, the joint controller
+Pareto-dominates at least one fixed configuration on the
+(quality-per-joule, stall-ratio) plane — it is never strictly worse than
+both fixed points.  A small trace-mode fleet with per-session device
+classes closes the loop through the discrete-event scheduler.
+"""
+
+import os
+
+from benchmarks.conftest import run_once
+from repro.abr import build_ladder, constant_trace, random_walk_trace, \
+    simulate_session
+from repro.bench import print_table, save_results
+from repro.control import (
+    FixedController,
+    GreedyKnapsackController,
+    LadderControllerPolicy,
+)
+from repro.core import ServerConfig, build_package
+from repro.devices import get_device
+from repro.features import VaeTrainConfig
+from repro.serve import FleetConfig, FleetSimulator
+from repro.sr import EdsrConfig, SrTrainConfig
+from repro.video import make_video
+from repro.video.codec import CodecConfig
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+TIERS = ("dcSR-1", "dcSR-2", "dcSR-3")
+#: Session-average power budgets (W): a bit above each device's
+#: idle+decode baseline, so SR must pay for itself.
+POWER_BUDGETS = {"jetson": 1.4, "laptop": 18.0, "desktop": 32.0}
+
+
+def _package():
+    clip = make_video("control-bench", genre="sports", seed=17,
+                      size=(48, 64), duration_seconds=4.0 if FAST else 8.0,
+                      fps=10, n_distinct_scenes=3)
+    epochs = 6 if FAST else 12
+    config = ServerConfig(
+        codec=CodecConfig(crf=48),
+        max_segment_len=10,
+        k_override=3,
+        vae_train=VaeTrainConfig(epochs=4 if FAST else 8, batch_size=4),
+        sr_train=SrTrainConfig(epochs=epochs, steps_per_epoch=10,
+                               batch_size=8, patch_size=16,
+                               lr_decay_epochs=max(2, epochs // 2)),
+        micro_config=EdsrConfig(n_resblocks=2, n_filters=8),
+        model_tiers=TIERS,
+        validate_in_loop=False,
+    )
+    return clip, build_package(clip, config)
+
+
+def _traces():
+    return {
+        "constant-2.5M": constant_trace(2.5e6),
+        "walk-2M": random_walk_trace(2.0e6, duration_s=60.0, seed=5),
+    }
+
+
+def _policies(device_name, manifest):
+    device = get_device(device_name)
+    budget = POWER_BUDGETS[device_name]
+    return {
+        "joint": LadderControllerPolicy(
+            GreedyKnapsackController(device, power_budget_w=budget),
+            manifest),
+        "rung-only": LadderControllerPolicy(
+            FixedController(device), manifest),
+        "sr-always": LadderControllerPolicy(
+            FixedController(device, tier=TIERS[-1]), manifest),
+    }
+
+
+def _dominates(joint, fixed):
+    """Weak Pareto dominance on (quality-per-joule up, stall-ratio down),
+    strict on at least one axis."""
+    qpj_ok = joint.quality_per_joule >= fixed.quality_per_joule
+    stall_ok = joint.stall_ratio <= fixed.stall_ratio
+    strict = (joint.quality_per_joule > fixed.quality_per_joule
+              or joint.stall_ratio < fixed.stall_ratio)
+    return qpj_ok and stall_ok and strict
+
+
+def test_control_frontier(benchmark):
+    clip, package = _package()
+    ladder = build_ladder(clip, package.segments, crfs=[32, 40, 48])
+    manifest = package.manifest
+
+    def experiment():
+        frontier = {}
+        for device_name in POWER_BUDGETS:
+            frontier[device_name] = {}
+            for trace_name, trace in _traces().items():
+                cell = {}
+                for policy_name, policy in _policies(device_name,
+                                                     manifest).items():
+                    cell[policy_name] = simulate_session(ladder, policy,
+                                                         trace)
+                frontier[device_name][trace_name] = cell
+        fleet = FleetSimulator(package, FleetConfig(
+            sessions=6, mode="trace", arrival="uniform:0.5",
+            bandwidth_bps=2.5e6, devices=tuple(POWER_BUDGETS),
+            controller="greedy", power_budget_w=max(POWER_BUDGETS.values()),
+            seed=4)).run()
+        return frontier, fleet
+
+    frontier, fleet = run_once(benchmark, experiment)
+
+    rows = []
+    for device_name, by_trace in frontier.items():
+        for trace_name, cell in by_trace.items():
+            for policy_name, result in cell.items():
+                rows.append([
+                    device_name, trace_name, policy_name,
+                    f"{result.mean_quality:.2f}",
+                    f"{result.energy_joules:.1f}",
+                    f"{result.quality_per_joule:.4f}",
+                    f"{result.stall_ratio:.4f}",
+                    f"{result.extra_bits / 8e3:.1f}",
+                ])
+    print_table(
+        f"Joint-control frontier ({ladder.n_segments} segments, "
+        f"{len(package.models)} clusters, tiers {'/'.join(TIERS)})",
+        ["device", "trace", "policy", "quality dB", "energy J",
+         "dB/J", "stall", "model KiB"], rows)
+
+    dominated = {
+        device_name: {
+            trace_name: sorted(
+                name for name in ("rung-only", "sr-always")
+                if _dominates(cell["joint"], cell[name]))
+            for trace_name, cell in by_trace.items()
+        } for device_name, by_trace in frontier.items()
+    }
+
+    tier_table = {
+        str(label): {
+            tier: {
+                precision: {
+                    "size_bytes": record.size_bytes,
+                    "gain_db": record.gain_db,
+                    "net_gain_db": record.net_gain_db,
+                } for precision, record in sorted(by_precision.items())
+            } for tier, by_precision in sorted(by_tier.items())
+        } for label, by_tier in sorted(manifest.tiers.items())
+    }
+
+    save_results("control", {
+        "tiers": tier_table,
+        "power_budgets_w": POWER_BUDGETS,
+        "ladder_crfs": [32, 40, 48],
+        "frontier": {
+            device_name: {
+                trace_name: {
+                    policy_name: {
+                        "mean_quality_db": result.mean_quality,
+                        "energy_joules": result.energy_joules,
+                        "quality_per_joule": result.quality_per_joule,
+                        "stall_ratio": result.stall_ratio,
+                        "rebuffer_seconds": result.rebuffer_seconds,
+                        "extra_bits": result.extra_bits,
+                        "levels": result.levels,
+                        "tiers": result.tiers,
+                    } for policy_name, result in cell.items()
+                } for trace_name, cell in by_trace.items()
+            } for device_name, by_trace in frontier.items()
+        },
+        "pareto_dominated_by_joint": dominated,
+        "fleet": {
+            "sessions": fleet.telemetry.completed,
+            "total_energy_joules": fleet.telemetry.total_energy_joules,
+            "mean_quality_per_joule":
+                fleet.telemetry.mean_quality_per_joule,
+        },
+    })
+
+    # Acceptance: the joint controller Pareto-dominates at least one fixed
+    # configuration on every device class, on every trace.
+    for device_name, by_trace in dominated.items():
+        for trace_name, names in by_trace.items():
+            assert names, (
+                f"joint dominates neither fixed config on "
+                f"{device_name}/{trace_name}")
+
+    # Every cell streamed the whole session, and energy is modeled
+    # everywhere (SR off still pays the idle+decode baseline).
+    for by_trace in frontier.values():
+        for cell in by_trace.values():
+            for result in cell.values():
+                assert result.played_seconds > 0
+                assert result.energy_joules > 0
+            # SR-always pays at least as much energy as rung-only.
+            assert (cell["sr-always"].energy_joules
+                    >= cell["rung-only"].energy_joules)
+
+    # The fleet path agrees: all sessions complete and spend energy.
+    assert fleet.telemetry.completed == 6
+    assert fleet.telemetry.total_energy_joules > 0

@@ -23,6 +23,10 @@
 #     TileReuseCache must carry an explicit entry budget (an unbounded
 #     cache is a per-session memory leak); the AST-level check is
 #     tests/sr/test_no_unbounded_reuse.py.
+#   - no upward imports from src/repro/control/ — the control plane is
+#     consumed by both the client and the fleet scheduler, so importing
+#     repro.serve or repro.cli from it would cycle the layer graph; the
+#     AST-level check is tests/control/test_no_upward_imports.py.
 #
 # --strict-markers turns any unregistered @pytest.mark.<name> into a
 # collection error, so a typo'd tier mark cannot silently drop a test
@@ -63,6 +67,14 @@ run_guards() {
         exit 1
     fi
     echo "ok: no unbounded reuse cache in library code"
+    if grep -rnE 'from \.\.(serve|cli)|from repro\.(serve|cli)|import repro\.(serve|cli)' \
+            src/repro/control/ --include='*.py'; then
+        echo "error: upward import in src/repro/control/" >&2
+        echo "       (the control plane must not import repro.serve or" >&2
+        echo "       repro.cli; see tests/control/test_no_upward_imports.py)" >&2
+        exit 1
+    fi
+    echo "ok: no upward imports in src/repro/control/"
 }
 
 run_tier1() {
@@ -72,7 +84,8 @@ run_tier1() {
     echo "== tier 1: executable docs =="
     python -m pytest -x -q --strict-markers tests/test_docs.py \
         tests/serve/test_no_threads.py tests/nn/test_no_quant_in_training.py \
-        tests/sr/test_no_unbounded_reuse.py
+        tests/sr/test_no_unbounded_reuse.py \
+        tests/control/test_no_upward_imports.py
 }
 
 run_tier2() {

@@ -6,7 +6,8 @@ downloads and targets *enhanced* quality, and a session simulator.
 """
 
 from .ladder import BitrateLadder, QualityLevel, build_ladder
-from .policies import AbrPolicy, BufferAbr, DcsrAwareAbr, ThroughputAbr
+from .policies import (AbrPolicy, BufferAbr, DcsrAwareAbr, JointChoice,
+                       JointPolicy, ThroughputAbr)
 from .simulate import AbrSessionResult, qoe_score, simulate_session
 from .trace import NetworkTrace, constant_trace, random_walk_trace, step_trace
 
@@ -18,6 +19,8 @@ __all__ = [
     "ThroughputAbr",
     "BufferAbr",
     "DcsrAwareAbr",
+    "JointChoice",
+    "JointPolicy",
     "AbrSessionResult",
     "simulate_session",
     "qoe_score",

@@ -11,11 +11,14 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from .ladder import BitrateLadder
 
-__all__ = ["AbrPolicy", "ThroughputAbr", "BufferAbr", "DcsrAwareAbr"]
+__all__ = ["AbrPolicy", "ThroughputAbr", "BufferAbr", "DcsrAwareAbr",
+           "JointChoice", "JointPolicy"]
 
 
 class AbrPolicy:
@@ -32,6 +35,58 @@ class AbrPolicy:
     def extra_bits(self, segment: int, level: int) -> float:
         """Side-channel bytes the policy knows it must also fetch (models)."""
         return 0.0
+
+
+@dataclass(frozen=True)
+class JointChoice:
+    """One segment's joint (rung, tier, SR-mode) decision.
+
+    ``extra_bits`` is the tier- and precision-aware model download owed for
+    this choice (zero when cached or SR is off); ``quality_bonus_db`` is
+    the SR uplift credited on top of the rung's decoded quality;
+    ``energy_j`` is the expected rail energy of playing the segment this
+    way.
+    """
+
+    level: int
+    extra_bits: float = 0.0
+    quality_bonus_db: float = 0.0
+    energy_j: float = 0.0
+    tier: str | None = None
+    precision: str = "fp32"
+
+    @property
+    def sr_enabled(self) -> bool:
+        return self.tier is not None
+
+
+class JointPolicy(AbrPolicy):
+    """ABR policy that also decides the SR configuration per segment.
+
+    The one-dimensional :meth:`AbrPolicy.choose` call site generalizes to
+    :meth:`choose_joint`, whose ``extra_bits`` side-channel is tier- and
+    precision-aware (the model download the *chosen* configuration owes,
+    not a per-level table).  ``simulate_session`` drives joint policies
+    through this method, credits ``quality_bonus_db`` on top of the rung
+    quality, accumulates ``energy_j``, and calls :meth:`feedback` with the
+    segment's realized energy so budget-tracking policies stay honest.
+    """
+
+    name = "joint"
+
+    def choose_joint(
+        self, ladder: BitrateLadder, segment: int,
+        throughput_estimate_bps: float, buffer_s: float,
+    ) -> JointChoice:
+        raise NotImplementedError
+
+    def choose(self, ladder, segment, throughput_estimate_bps, buffer_s):
+        """Interop with rung-only call sites: the joint choice's rung."""
+        return self.choose_joint(ladder, segment, throughput_estimate_bps,
+                                 buffer_s).level
+
+    def feedback(self, energy_j: float, seconds: float) -> None:
+        """Realized energy of the segment just played (default: ignored)."""
 
 
 class ThroughputAbr(AbrPolicy):
@@ -90,17 +145,40 @@ class DcsrAwareAbr(ThroughputAbr):
     name = "dcsr-aware"
 
     def __init__(
-        self, enhanced_quality: np.ndarray, model_bits_by_segment: list[float],
-        target_quality_db: float, safety: float = 0.85,
+        self, enhanced_quality: np.ndarray,
+        model_bits_by_segment: list[float] | None = None,
+        target_quality_db: float = 0.0, safety: float = 0.85,
         enhanced_level: int | None = None,
+        manifest=None, precision: str = "fp32",
     ):
         """``enhanced_quality[level][segment]`` is the post-SR PSNR;
         ``model_bits_by_segment[s]`` is the model download charged at
         segment ``s`` (zero when cached).  Models are only fetched — and
         only charged — when the client actually plays ``enhanced_level``
-        (default: the bottom rung, the one dcSR prepares models for)."""
+        (default: the bottom rung, the one dcSR prepares models for).
+
+        Instead of a precomputed bits table, pass ``manifest`` (a
+        :class:`~repro.core.manifest.VideoManifest`) plus the client's
+        playback ``precision``: each model is then budgeted at its *actual*
+        download size — ``manifest.model_size_for(label, precision)`` —
+        charged at the label's first segment, instead of always charging
+        fp32 bytes even when the client plays a quantized checkpoint.
+        """
         super().__init__(safety=safety)
         self.enhanced_quality = np.asarray(enhanced_quality, dtype=np.float64)
+        if (model_bits_by_segment is None) == (manifest is None):
+            raise ValueError(
+                "pass exactly one of model_bits_by_segment or manifest")
+        if manifest is not None:
+            seen: set[int] = set()
+            model_bits_by_segment = []
+            for label in manifest.label_sequence():
+                if label in seen:
+                    model_bits_by_segment.append(0.0)
+                else:
+                    seen.add(label)
+                    model_bits_by_segment.append(
+                        manifest.model_size_for(label, precision) * 8.0)
         self.model_bits_by_segment = list(model_bits_by_segment)
         self.target_quality_db = float(target_quality_db)
         self.enhanced_level = (self.enhanced_quality.shape[0] - 1

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .ladder import BitrateLadder
-from .policies import AbrPolicy
+from .policies import AbrPolicy, JointPolicy
 from .trace import NetworkTrace
 
 __all__ = ["AbrSessionResult", "simulate_session", "qoe_score"]
@@ -30,6 +30,13 @@ class AbrSessionResult:
     video_bits: float = 0.0
     extra_bits: float = 0.0
     switches: int = 0
+    #: Per-segment SR tier chosen (``None`` = SR off); empty for rung-only
+    #: policies.  Filled by joint policies only.
+    tiers: list[str | None] = field(default_factory=list)
+    #: Total expected rail energy of the session (joint policies only).
+    energy_joules: float = 0.0
+    #: Total seconds of video streamed (sum of segment durations).
+    played_seconds: float = 0.0
 
     @property
     def total_bits(self) -> float:
@@ -38,6 +45,20 @@ class AbrSessionResult:
     @property
     def mean_quality(self) -> float:
         return float(np.mean(self.qualities)) if self.qualities else 0.0
+
+    @property
+    def quality_per_joule(self) -> float:
+        """Mean quality per joule — the frontier's efficiency axis."""
+        if self.energy_joules <= 0:
+            return 0.0
+        return self.mean_quality / self.energy_joules
+
+    @property
+    def stall_ratio(self) -> float:
+        """Rebuffer seconds per streamed second (0 when nothing played)."""
+        if self.played_seconds <= 0:
+            return 0.0
+        return self.rebuffer_seconds / self.played_seconds
 
 
 def qoe_score(
@@ -86,9 +107,15 @@ def simulate_session(
             result.rebuffer_seconds += wait - drained
             clock += wait
             buffer_s -= drained
-        level = policy.choose(ladder, segment, estimate, buffer_s)
+        joint = (policy.choose_joint(ladder, segment, estimate, buffer_s)
+                 if isinstance(policy, JointPolicy) else None)
+        if joint is not None:
+            level = joint.level
+            extra = joint.extra_bits
+        else:
+            level = policy.choose(ladder, segment, estimate, buffer_s)
+            extra = policy.extra_bits(segment, level)
         seg_bits = ladder.levels[level].segment_bits[segment]
-        extra = policy.extra_bits(segment, level)
         dl_seconds = trace.download_time(seg_bits + extra, clock)
 
         if playing:
@@ -113,11 +140,17 @@ def simulate_session(
         prev_level = level
         result.levels.append(level)
         if quality_table is not None:
-            result.qualities.append(float(quality_table[level, segment]))
+            quality = float(quality_table[level, segment])
         else:
-            result.qualities.append(
-                ladder.levels[level].segment_quality[segment])
+            quality = ladder.levels[level].segment_quality[segment]
+        if joint is not None:
+            quality += joint.quality_bonus_db
+            result.tiers.append(joint.tier)
+            result.energy_joules += joint.energy_j
+            policy.feedback(joint.energy_j, ladder.segment_seconds[segment])
+        result.qualities.append(quality)
         result.video_bits += seg_bits
         result.extra_bits += extra
+        result.played_seconds += ladder.segment_seconds[segment]
 
     return result

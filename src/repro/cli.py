@@ -52,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
     prep.add_argument("--backend", choices=("process", "thread", "serial"),
                       default=None,
                       help="pool backend (default: process when workers > 1)")
+    prep.add_argument("--tiers", default=None, metavar="LIST",
+                      help="also train per-cluster model tiers, e.g. "
+                           "'dcSR-1,dcSR-2,dcSR-3'; the manifest then "
+                           "carries a per-tier size/gain table the joint "
+                           "controller chooses from")
     prep.add_argument("--train-cache", default=None, metavar="DIR",
                       help="content-addressed training cache directory; "
                            "rebuilds with unchanged clusters skip training")
@@ -122,6 +127,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="conv kernel for the fast path: shift "
                            "(tap-decomposed, default) or blocked "
                            "(cache-blocked im2col GEMM)")
+    play.add_argument("--controller", choices=("greedy", "fixed", "off"),
+                      default="off",
+                      help="joint (SR tier + precision) controller at "
+                           "every segment boundary; needs --device "
+                           "(default off = pre-controller path, "
+                           "bitwise-identical)")
+    play.add_argument("--device", default=None,
+                      help="client device class for the power model: "
+                           "jetson / laptop / desktop")
+    play.add_argument("--power-budget", type=float, default=None,
+                      metavar="WATTS",
+                      help="session-average power budget the controller "
+                           "must respect (default: unconstrained)")
+    play.add_argument("--controller-tier", default=None, metavar="TIER",
+                      help="pinned tier for --controller fixed "
+                           "(e.g. dcSR-2; default: SR off)")
     play.add_argument("--trace-out", default=None, metavar="FILE",
                       help="write the session's span tree as JSON")
     play.add_argument("--metrics-out", default=None, metavar="FILE",
@@ -192,6 +213,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace mode: scale each session's modeled SR "
                             "FLOP demand by F in [0, 1] (the measured "
                             "fast-path savings from skip gate + reuse)")
+    serve.add_argument("--device", default=None, metavar="LIST",
+                       help="per-session device classes, cycled by "
+                            "session id: e.g. 'jetson,laptop,desktop'; "
+                            "enables fleet energy accounting")
+    serve.add_argument("--controller", choices=("greedy", "fixed", "off"),
+                       default="off",
+                       help="per-session joint SR controller (needs "
+                            "--device; default off)")
+    serve.add_argument("--power-budget", type=float, default=None,
+                       metavar="WATTS",
+                       help="session-average power budget per controller")
+    serve.add_argument("--controller-tier", default=None, metavar="TIER",
+                       help="pinned tier for --controller fixed")
     serve.add_argument("--reference", default=None,
                        help="original video .npz for quality scoring")
     serve.add_argument("--trace-out", default=None, metavar="FILE",
@@ -254,6 +288,8 @@ def _cmd_prepare(args) -> int:
     backend = args.backend
     if backend is None:
         backend = "serial" if workers == 1 else "process"
+    tiers = tuple(t.strip() for t in args.tiers.split(",") if t.strip()) \
+        if args.tiers else ()
     config = ServerConfig(
         codec=CodecConfig(crf=args.crf),
         max_segment_len=args.max_segment_frames,
@@ -264,6 +300,7 @@ def _cmd_prepare(args) -> int:
         k_override=args.k,
         parallel=ParallelConfig(workers=workers, backend=backend),
         train_cache_dir=args.train_cache,
+        model_tiers=tiers,
     )
     obs = Observability(root_name="prepare")
     t0 = obs.clock.now()
@@ -306,6 +343,27 @@ def _cmd_info(args) -> int:
                       f"{record.size_bytes / 1024:.1f} KiB "
                       f"({record.size_bytes / fp32_bytes:.2f}x of fp32), "
                       f"delta {record.delta_db:+.3f} dB")
+    if manifest.has_tiers:
+        from .bench.runner import format_table
+
+        print("model tiers (per cluster, calibrated at build time):")
+        rows = []
+        for label in sorted(manifest.tiers):
+            for tier in manifest.tier_names():
+                if tier not in manifest.tiers[label]:
+                    continue
+                for precision, record in sorted(
+                        manifest.tiers[label][tier].items()):
+                    rows.append([
+                        str(label), tier, precision,
+                        f"{record.n_resblocks}x{record.n_filters}",
+                        f"{record.size_bytes / 1024:.1f}",
+                        f"{record.gain_db:+.2f}",
+                        f"{record.net_gain_db:+.2f}",
+                    ])
+        print(format_table(
+            "", ["model", "tier", "precision", "blocks x filters",
+                 "KiB", "gain dB", "net dB"], rows))
     return 0
 
 
@@ -343,11 +401,29 @@ def _cmd_play(args) -> int:
                               kernel=args.sr_kernel or "shift")
     from .obs import Observability
 
+    controller = None
+    if args.controller != "off":
+        if args.device is None:
+            print("--controller needs --device (the power model)",
+                  file=sys.stderr)
+            return 2
+        from .control import build_controller
+        from .devices import get_device
+
+        controller = build_controller(
+            args.controller, get_device(args.device),
+            power_budget_w=args.power_budget, tier=args.controller_tier)
     client = DcsrClient(package, network=network,
                         retry=RetryPolicy(retries=args.retries),
                         fallback=args.fallback, fast_path=fast,
-                        obs=Observability(root_name="play"))
+                        obs=Observability(root_name="play"),
+                        controller=controller)
     result = client.play(reference)
+    if controller is not None:
+        tiers = [d.tier or "off" for d in controller.decisions]
+        print(f"controller: {args.controller} on {args.device}, "
+              f"mean power {controller.mean_power_w:.2f} W, "
+              f"tiers {tiers}")
     print(f"played {len(result.frames)} frames, "
           f"{result.sr_inferences} SR inferences")
     print(f"downloaded: video {result.video_bytes / 1024:.0f} KiB + "
@@ -379,6 +455,8 @@ def _cmd_serve(args) -> int:
     if reuse is not None:
         from .core import FastPathConfig
         fast_path = FastPathConfig(reuse=reuse)
+    devices = tuple(d.strip() for d in args.device.split(",") if d.strip()) \
+        if args.device else ()
     config = FleetConfig(
         sessions=args.sessions, mode=args.mode, arrival=args.arrival,
         bandwidth_bps=args.bandwidth, latency_s=args.latency,
@@ -390,6 +468,9 @@ def _cmd_serve(args) -> int:
         batching=args.batching, max_batch=args.max_batch,
         fallback=args.fallback, seed=args.seed,
         fast_path=fast_path, sr_demand_factor=args.sr_demand_factor,
+        devices=devices, controller=args.controller,
+        power_budget_w=args.power_budget,
+        controller_tier=args.controller_tier,
     )
     obs = Observability(root_name="serve")
     simulator = FleetSimulator(package, config, obs=obs)

@@ -1,0 +1,169 @@
+"""The joint controller's per-segment decision space.
+
+A :class:`ControlContext` is everything the caller knows at a segment
+boundary — the ladder rungs, the published SR options, buffer and
+throughput state — and a :class:`ControlDecision` is the tuple the
+controller picks: (ladder rung, micro-model tier, SR on/off + precision).
+
+The context is plain data so the control plane stays import-light: the
+solo client and the fleet scheduler both build contexts from whatever
+manifest/ladder objects they hold, and the controller never needs to see
+them (see ``tests/control/test_no_upward_imports.py`` for the layering
+guard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..devices import model_forward_flops
+from ..sr import EDSR, EdsrConfig
+
+__all__ = ["SrOption", "SR_OFF", "ControlContext", "ControlDecision",
+           "tier_options"]
+
+
+@dataclass(frozen=True)
+class SrOption:
+    """One playable SR configuration for a segment.
+
+    ``gain_db`` is the calibrated quality uplift *net* of the precision's
+    quantization cost (:attr:`~repro.core.manifest.ModelTierRecord.net_gain_db`);
+    ``model_bits`` is the download still owed for the checkpoint (zero when
+    the client already holds it); ``flops_per_inference`` drives the energy
+    model.  ``tier=None`` is the SR-off configuration.
+    """
+
+    tier: str | None
+    precision: str = "fp32"
+    gain_db: float = 0.0
+    model_bits: float = 0.0
+    flops_per_inference: float = 0.0
+
+    def __post_init__(self):
+        if self.model_bits < 0:
+            raise ValueError("model_bits must be non-negative")
+        if self.flops_per_inference < 0:
+            raise ValueError("flops_per_inference must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.tier is not None
+
+
+#: The always-available SR-off configuration.
+SR_OFF = SrOption(tier=None)
+
+
+@dataclass(frozen=True)
+class ControlContext:
+    """Everything a controller sees at one segment boundary."""
+
+    segment: int
+    segment_seconds: float
+    throughput_bps: float
+    buffer_s: float
+    #: Per-rung download bits of this segment, best quality first
+    #: (matching :class:`~repro.abr.BitrateLadder` level order).
+    rung_bits: tuple[float, ...]
+    #: Per-rung decoded quality (dB), same order as ``rung_bits``.
+    rung_quality_db: tuple[float, ...]
+    sr_options: tuple[SrOption, ...] = (SR_OFF,)
+    #: SR inferences the segment triggers when enhancement is on
+    #: (its I-frame count).
+    n_inferences: int = 1
+
+    def __post_init__(self):
+        if self.segment_seconds <= 0:
+            raise ValueError("segment_seconds must be positive")
+        if not self.rung_bits:
+            raise ValueError("need at least one ladder rung")
+        if len(self.rung_bits) != len(self.rung_quality_db):
+            raise ValueError("rung_bits and rung_quality_db must align")
+        if self.n_inferences < 0:
+            raise ValueError("n_inferences must be non-negative")
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.rung_bits)
+
+    @property
+    def off_option(self) -> SrOption:
+        for option in self.sr_options:
+            if not option.enabled:
+                return option
+        return SR_OFF
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """The tuple a controller picked for one segment."""
+
+    segment: int
+    level: int
+    option: SrOption
+    quality_db: float       # expected quality including SR gain
+    energy_j: float         # expected rail energy over the segment
+    download_bits: float    # segment bits + any model bits owed
+
+    @property
+    def sr_enabled(self) -> bool:
+        return self.option.enabled
+
+    @property
+    def tier(self) -> str | None:
+        return self.option.tier
+
+    @property
+    def precision(self) -> str:
+        return self.option.precision
+
+    def key(self) -> tuple:
+        """Hashable identity for decision-sequence comparisons."""
+        return (self.segment, self.level, self.option.tier,
+                self.option.precision)
+
+
+# FLOPs depend only on (architecture, frame size); memoized so per-segment
+# context building never re-traces the same tier.
+_FLOPS_MEMO: dict[tuple[int, int, int, int], float] = {}
+
+
+def _tier_flops(n_resblocks: int, n_filters: int, height: int,
+                width: int) -> float:
+    key = (n_resblocks, n_filters, height, width)
+    cached = _FLOPS_MEMO.get(key)
+    if cached is None:
+        model = EDSR(EdsrConfig(n_resblocks=n_resblocks, n_filters=n_filters))
+        cached = model_forward_flops(model, height, width)
+        _FLOPS_MEMO[key] = cached
+    return cached
+
+
+def tier_options(
+    manifest, label: int, cached: frozenset | set | tuple = (),
+) -> tuple[SrOption, ...]:
+    """SR-off plus every published (tier, precision) option of ``label``.
+
+    ``manifest`` is duck-typed (anything with ``tiers``/``width``/``height``
+    — a :class:`~repro.core.manifest.VideoManifest` in practice, but the
+    control plane never imports ``repro.core``).  ``cached`` holds the
+    ``(tier, precision)`` pairs whose checkpoints the client already has;
+    those options owe zero model bits.  Options come out in ascending
+    (size, tier, precision) order — the greedy knapsack walk order.
+    """
+    options: list[SrOption] = [SR_OFF]
+    by_tier = getattr(manifest, "tiers", {}).get(label, {})
+    ranked = sorted(by_tier,
+                    key=lambda t: (by_tier[t]["fp32"].size_bytes, t))
+    for tier in ranked:
+        for precision in sorted(by_tier[tier]):
+            record = by_tier[tier][precision]
+            flops = _tier_flops(record.n_resblocks, record.n_filters,
+                                manifest.height, manifest.width)
+            owed = (0.0 if (tier, precision) in cached
+                    else record.size_bytes * 8.0)
+            options.append(SrOption(
+                tier=tier, precision=precision, gain_db=record.net_gain_db,
+                model_bits=owed, flops_per_inference=flops))
+    return tuple(options)

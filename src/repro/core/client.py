@@ -43,6 +43,8 @@ from typing import Iterator
 
 import numpy as np
 
+from ..control import ControlContext, JointController, segment_energy, \
+    tier_options
 from ..nn.functional import PRECISIONS
 from ..obs import Observability, SimulatedClock
 from ..sr.edsr import EDSR
@@ -292,6 +294,11 @@ class PlaybackTelemetry:
     #: Measured fast-over-reference SR speedup from the per-session
     #: calibration frame (0 = not calibrated).
     fast_path_speedup: float = 0.0
+    #: Realized rail energy over the session from the device power model
+    #: (0 unless the client runs with a joint controller).
+    energy_joules: float = 0.0
+    #: Segments the joint controller enabled SR for (0 without one).
+    sr_segments: int = 0
     obs: Observability = field(default_factory=Observability,
                                repr=False, compare=False)
 
@@ -340,6 +347,13 @@ class PlaybackTelemetry:
                 f"{self.sr_gflops:.2f} GFLOP/s, "
                 f"{self.fast_path_speedup:.1f}x vs reference, "
                 f"overlap {self.prefetch_overlap_seconds:.3f}s")
+        if self.energy_joules:
+            n_frames = sum(s.n_frames for s in self.segments)
+            played = n_frames / self.native_fps if self.native_fps else 0.0
+            watts = self.energy_joules / played if played > 0 else 0.0
+            lines.append(f"  energy     {self.energy_joules:.2f} J "
+                         f"({watts:.2f} W avg, SR on for "
+                         f"{self.sr_segments}/{len(self.segments)} segments)")
         if self.n_concealed or self.n_fallback:
             lines.append(f"  degraded   {self.n_concealed} concealed, "
                          f"{self.n_fallback} fallback segments")
@@ -452,6 +466,19 @@ class DcsrClient:
     span_attrs:
         Extra attributes stamped on the session's ``play`` span (fleet
         runs tag each session's subtree with its session id).
+    controller:
+        Optional :class:`~repro.control.JointController`.  When given, the
+        client consults it at every segment boundary: the controller picks
+        the SR mode (off, or a published model *tier* at a *precision*),
+        the client plays the segment that way — downloading the tier
+        checkpoint at its manifest-recorded size on first use — and feeds
+        the segment's *realized* energy (device power model on the actual
+        inference count) back into the controller's budget state.
+        ``None`` (the default) keeps the pre-controller code path
+        bit-for-bit: no context is built, no energy is modelled, and the
+        output frames are identical to a client without the feature.
+        Requires the serial engine (no ``prefetch``/``sr_batch``):
+        decisions are sequential by construction.
     """
 
     def __init__(self, package: DcsrPackage, cache_capacity: int | None = None,
@@ -462,10 +489,17 @@ class DcsrClient:
                  obs: Observability | None = None,
                  model_cache=None,
                  engine_provider=None,
-                 span_attrs: dict | None = None):
+                 span_attrs: dict | None = None,
+                 controller: JointController | None = None):
         if fast_path is not None and fast_path.prefetch < 0:
             raise ValueError("prefetch must be >= 0")
+        if controller is not None and fast_path is not None \
+                and (fast_path.prefetch > 0 or fast_path.sr_batch > 1):
+            raise ValueError(
+                "a joint controller needs the serial client path; "
+                "disable prefetch/sr_batch")
         self.package = package
+        self._controller = controller
         if model_cache is not None:
             self._cache = model_cache.session(self._download_model)
         else:
@@ -493,6 +527,12 @@ class DcsrClient:
         self._model_bytes = 0
         self._fetch_seconds = 0.0
         self._fetch_attempts = 0
+        # Joint-controller session state: which (label, tier, precision)
+        # checkpoints were downloaded, their engines, and the engine the
+        # current segment's hook must use (serial path only, no races).
+        self._tier_downloaded: set[tuple[int, str, str]] = set()
+        self._tier_engines: dict[tuple[int, str, str], InferenceEngine] = {}
+        self._ctrl_engine: InferenceEngine | None = None
         self.last_result: PlaybackResult | None = None
 
     def _engine_for(self, model: EDSR):
@@ -585,6 +625,11 @@ class DcsrClient:
         self._speedup_sample = 0.0
         self._engines = {}
         self._batcher = None
+        self._tier_downloaded = set()
+        self._tier_engines = {}
+        self._ctrl_engine = None
+        if self._controller is not None:
+            self._controller.reset()
         fps = package.encoded.fps
         telemetry = PlaybackTelemetry(native_fps=fps, obs=self.obs)
         result.telemetry = telemetry
@@ -937,10 +982,17 @@ class DcsrClient:
         seg_t = SegmentPlayback(index=segment.index,
                                 n_frames=segment.n_frames)
         telemetry.segments.append(seg_t)
-        model, have = self._fetch_stage(segment, encoded_segment, seg_t,
-                                        result)
-        decoded = self._decode_stage(segment, encoded_segment, seg_t,
-                                     model, have, decoder)
+        if self._controller is not None:
+            decision, model, have = self._controlled_fetch(
+                segment, encoded_segment, seg_t, result)
+            decoded = self._decode_stage(segment, encoded_segment, seg_t,
+                                         model, have, decoder, pinned=False)
+            self._controller_feedback(segment, seg_t, decision, telemetry)
+        else:
+            model, have = self._fetch_stage(segment, encoded_segment, seg_t,
+                                            result)
+            decoded = self._decode_stage(segment, encoded_segment, seg_t,
+                                         model, have, decoder)
         if decoded is None:
             self._note_unplayable(segment, seg_t, result)
         return seg_t, decoded
@@ -958,11 +1010,146 @@ class DcsrClient:
         have = self._fetch_segment(encoded_segment, seg_t, result)
         return model, have
 
+    # ------------------------------------------------------------------
+    # Joint-controller path (serial engine only).
+
+    def _control_context(self, segment, encoded_segment,
+                         label: int) -> ControlContext:
+        """One segment boundary's decision context.
+
+        The solo client streams one pre-encoded rendition, so the ladder
+        collapses to a single rung (the segment's actual bits at a neutral
+        quality origin — tier gains are *relative* uplifts); buffer depth
+        is unbounded because the serial client has no playout buffer to
+        protect.  The SR options come from the manifest's tier table, with
+        already-downloaded checkpoints owing zero bits.
+        """
+        n_inferences = sum(1 for f in encoded_segment.frames
+                           if f.ftype == "I") or 1
+        cached = frozenset(
+            (tier, precision)
+            for (lab, tier, precision) in self._tier_downloaded
+            if lab == label)
+        bandwidth = None
+        if self._network is not None:
+            bandwidth = self._network.config.bandwidth_bps
+        return ControlContext(
+            segment=segment.index,
+            segment_seconds=segment.n_frames / self.package.encoded.fps,
+            throughput_bps=(float(bandwidth) if bandwidth
+                            else float("inf")),
+            buffer_s=float("inf"),
+            rung_bits=(encoded_segment.n_bytes * 8.0,),
+            rung_quality_db=(0.0,),
+            sr_options=tier_options(self.package.manifest, label,
+                                    cached=cached),
+            n_inferences=n_inferences,
+        )
+
+    def _controlled_fetch(self, segment, encoded_segment,
+                          seg_t: SegmentPlayback, result: PlaybackResult):
+        """Stages 1-2 under the joint controller: decide, then fetch the
+        chosen tier checkpoint (if any) and the segment."""
+        label = self.package.manifest.model_label_for(segment.index)
+        decision = self._controller.decide(
+            self._control_context(segment, encoded_segment, label))
+        self.obs.metrics.counter(
+            "dcsr_controller_decisions_total",
+            "Joint controller segment decisions by SR tier and precision",
+        ).inc(tier=decision.tier or "off", precision=decision.precision)
+        self._ctrl_engine = None
+        model = None
+        if decision.sr_enabled:
+            model = self._acquire_tier_model(label, decision, seg_t, result)
+            if model is not None:
+                self._ctrl_engine = self._tier_engine(label, decision, model)
+        have = self._fetch_segment(encoded_segment, seg_t, result)
+        return decision, model, have
+
+    def _acquire_tier_model(self, label: int, decision,
+                            seg_t: SegmentPlayback,
+                            result: PlaybackResult) -> EDSR | None:
+        """The decided tier's model, downloading its checkpoint (at the
+        manifest-recorded per-precision size) on first use.  Fetch
+        failures degrade exactly like base-model failures: fallback mode
+        plays the segment unenhanced, strict mode raises."""
+        key = (label, decision.tier, decision.precision)
+        tier_models = getattr(self.package, "tier_models", {})
+        model = tier_models.get(decision.tier, {}).get(label)
+        self._fetch_seconds = 0.0
+        self._fetch_attempts = 0
+        try:
+            if model is None:
+                raise KeyError(
+                    f"package has no tier {decision.tier!r} model for "
+                    f"label {label}")
+            if key not in self._tier_downloaded:
+                size = self.package.manifest.tier_size_for(
+                    label, decision.tier, decision.precision)
+                if self._network is not None:
+                    seconds, attempts = download_with_retry(
+                        self._network, self._retry, "model",
+                        f"{label}:{decision.tier}:{decision.precision}",
+                        size)
+                    self._fetch_seconds += seconds
+                    self._fetch_attempts += attempts
+                self._model_bytes += size
+                self._tier_downloaded.add(key)
+        except (KeyError, DownloadError) as exc:
+            if isinstance(exc, DownloadError):
+                self._fetch_seconds += exc.seconds
+                self._fetch_attempts += exc.attempts
+            self._record_download(seg_t, "model", seg_t.index, failed=True)
+            if not self._fallback:
+                raise
+            seg_t.status = "fallback"
+            result.fallback_segments.append(seg_t.index)
+            return None
+        self._record_download(seg_t, "model", seg_t.index)
+        return model
+
+    def _tier_engine(self, label: int, decision, model: EDSR):
+        """Per-(label, tier, precision) inference engine, built once per
+        session.  Inherits the fast path's tiling/threading knobs when a
+        config is present; the *precision* always comes from the decision."""
+        key = (label, decision.tier, decision.precision)
+        engine = self._tier_engines.get(key)
+        if engine is None:
+            fast = self._fast
+            engine = InferenceEngine(
+                model,
+                tile=fast.tile if fast is not None else None,
+                threads=fast.sr_threads if fast is not None else 1,
+                obs=self.obs,
+                precision=decision.precision,
+                skip_gate=fast.skip_gate if fast is not None else None,
+                kernel=fast.kernel if fast is not None else "shift")
+            self._tier_engines[key] = engine
+        return engine
+
+    def _controller_feedback(self, segment, seg_t: SegmentPlayback,
+                             decision, telemetry: PlaybackTelemetry) -> None:
+        """Close the loop: realized energy from the device power model on
+        the segment's *actual* inference count."""
+        seconds = segment.n_frames / self.package.encoded.fps
+        flops = (decision.option.flops_per_inference
+                 if decision.sr_enabled else 0.0)
+        energy = segment_energy(self._controller.device, seconds, flops,
+                                seg_t.sr_inferences)
+        self._controller.feedback(energy.energy_j, seconds)
+        telemetry.energy_joules += energy.energy_j
+        if decision.sr_enabled and seg_t.sr_inferences:
+            telemetry.sr_segments += 1
+        self._ctrl_engine = None
+
     def _decode_stage(self, segment, encoded_segment,
-                      seg_t: SegmentPlayback, model, have: bool, decoder):
+                      seg_t: SegmentPlayback, model, have: bool, decoder,
+                      pinned: bool = True):
         """Stage 3: decode with the SR hook in the loop; release the
         model pin.  Thread-safe given a private ``decoder`` per caller —
-        decode workers run this concurrently."""
+        decode workers run this concurrently.  ``pinned=False`` skips the
+        cache release (controller-chosen tier models live outside the
+        label-keyed model cache)."""
         from ..video.codec import DecodeError
 
         package = self.package
@@ -973,7 +1160,8 @@ class DcsrClient:
                 # bit-identical to the plain (LOW) decode.
                 decoder.i_frame_hook = (
                     None if model is None
-                    else self._timed_hook(model, seg_t))
+                    else self._timed_hook(model, seg_t,
+                                          engine=self._ctrl_engine))
                 # The decode span nests the hook's sr/color spans (same
                 # thread), so its staged self-time equals decode_s below.
                 with self.obs.tracer.span("decode", parent=self._session,
@@ -991,7 +1179,7 @@ class DcsrClient:
             # The model was pinned by acquire for the duration of decode
             # (where every SR inference happens); release the pin so a
             # bounded shared cache may evict it again.
-            if model is not None:
+            if model is not None and pinned:
                 self._cache.release(
                     package.manifest.model_label_for(segment.index))
         return decoded
@@ -1121,17 +1309,21 @@ class DcsrClient:
         result.video_bytes += encoded_segment.n_bytes
         return True
 
-    def _timed_hook(self, model, seg_t: SegmentPlayback):
+    def _timed_hook(self, model, seg_t: SegmentPlayback, engine=None):
         """Figure 6's enhancement hook with per-stage timing attached.
 
         With a :class:`FastPathConfig`, SR runs on the tiled NHWC engine;
         the first enhanced frame of the session optionally times the
         reference forward once on the same input (output discarded) to
         report the measured speedup.  Calibration seconds are measurement
-        overhead and are excluded from stage accounting.
+        overhead and are excluded from stage accounting.  An explicit
+        ``engine`` (the controller's per-tier engine) overrides the
+        session-level engine selection.
         """
-        use_engine = self._fast is not None or self._engine_provider is not None
-        engine = self._engine_for(model) if use_engine else None
+        if engine is None:
+            use_engine = (self._fast is not None
+                          or self._engine_provider is not None)
+            engine = self._engine_for(model) if use_engine else None
         if engine is not None and hasattr(engine, "reset_reuse"):
             # One hook per segment: a segment boundary is a GOP boundary
             # (and where seeks/concealment land), so cross-segment content
@@ -1250,3 +1442,16 @@ class DcsrClient:
             "dcsr_playback_achieved_fps",
             "Frames per compute second of the most recent session",
         ).set(telemetry.achieved_fps)
+        if self._controller is not None:
+            metrics.counter(
+                "dcsr_controller_energy_joules_total",
+                "Simulated rail energy under the joint controller",
+            ).inc(telemetry.energy_joules,
+                  device=self._controller.device.name)
+            if telemetry.energy_joules > 0 and result.psnr_per_frame:
+                metrics.gauge(
+                    "dcsr_controller_quality_per_joule",
+                    "Mean PSNR per joule of the most recent session",
+                ).set(float(np.mean(result.psnr_per_frame))
+                      / telemetry.energy_joules,
+                      device=self._controller.device.name)

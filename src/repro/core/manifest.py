@@ -8,7 +8,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["SegmentRecord", "QuantizationRecord", "VideoManifest"]
+__all__ = ["SegmentRecord", "QuantizationRecord", "ModelTierRecord",
+           "VideoManifest"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,35 @@ class QuantizationRecord:
             raise ValueError("size_bytes must be positive")
 
 
+@dataclass(frozen=True)
+class ModelTierRecord(QuantizationRecord):
+    """One (model label, tier, precision) calibration entry.
+
+    Extends :class:`QuantizationRecord` — the inherited ``size_bytes`` is
+    what a client downloading this tier at this precision transfers, and
+    ``delta_db`` is the quantization PSNR *cost* of the reduced precision
+    (0 for fp32) — with the tier identity, its architecture, and
+    ``gain_db``: the calibrated PSNR *uplift* of the fp32 tier model over
+    the plain decode on the cluster's own I-frames.  A controller scores
+    the tier at a precision as ``gain_db - delta_db``.
+    """
+
+    tier: str = ""
+    n_resblocks: int = 0
+    n_filters: int = 0
+    gain_db: float = 0.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not self.tier:
+            raise ValueError("tier name must be non-empty")
+
+    @property
+    def net_gain_db(self) -> float:
+        """Calibrated uplift net of the precision's quantization cost."""
+        return self.gain_db - self.delta_db
+
+
 @dataclass
 class VideoManifest:
     """Everything a client needs to stream a dcSR-prepared video."""
@@ -63,6 +93,11 @@ class VideoManifest:
     #: label -> precision -> calibration record for the quantized variants
     #: the server published (empty for packages built without calibration).
     quantization: dict[int, dict[str, QuantizationRecord]] = \
+        field(default_factory=dict)
+    #: label -> tier name -> precision -> per-tier record (empty for
+    #: packages built without tier training; ``"fp32"`` is always present
+    #: for a published tier).  The joint controller reads this table.
+    tiers: dict[int, dict[str, dict[str, ModelTierRecord]]] = \
         field(default_factory=dict)
     #: Whether enhanced I frames are written back into the DPB so P/B frames
     #: inherit the enhancement.  The server validates this per video (on
@@ -96,6 +131,26 @@ class VideoManifest:
                     raise ValueError(
                         f"quantization record for model {label} keyed "
                         f"{precision!r} but carries {record.precision!r}")
+        bad = set(self.tiers) - set(self.model_sizes)
+        if bad:
+            raise ValueError(
+                f"tier records reference unknown model labels {bad}")
+        for label, by_tier in self.tiers.items():
+            for tier, records in by_tier.items():
+                if "fp32" not in records:
+                    raise ValueError(
+                        f"tier {tier!r} of model {label} lacks an fp32 "
+                        f"record")
+                for precision, record in records.items():
+                    if record.tier != tier:
+                        raise ValueError(
+                            f"tier record for model {label} keyed {tier!r} "
+                            f"but carries {record.tier!r}")
+                    if record.precision != precision:
+                        raise ValueError(
+                            f"tier record for model {label}/{tier} keyed "
+                            f"{precision!r} but carries "
+                            f"{record.precision!r}")
 
     @property
     def n_segments(self) -> int:
@@ -126,6 +181,40 @@ class VideoManifest:
             if record is not None:
                 return record.size_bytes
         return self.model_sizes[label]
+
+    @property
+    def has_tiers(self) -> bool:
+        return bool(self.tiers)
+
+    def tier_names(self) -> tuple[str, ...]:
+        """Published tier names, ascending by fp32 size (the order a
+        knapsack controller walks them in)."""
+        seen: dict[str, int] = {}
+        for by_tier in self.tiers.values():
+            for tier, records in by_tier.items():
+                size = records["fp32"].size_bytes
+                seen[tier] = max(seen.get(tier, 0), size)
+        return tuple(sorted(seen, key=lambda t: (seen[t], t)))
+
+    def tier_record(self, label: int, tier: str,
+                    precision: str = "fp32") -> ModelTierRecord | None:
+        """The per-tier record, or ``None`` when the server published no
+        such (tier, precision) variant for ``label``."""
+        return self.tiers.get(label, {}).get(tier, {}).get(precision)
+
+    def tier_size_for(self, label: int, tier: str,
+                      precision: str = "fp32") -> int:
+        """Download bytes for ``label``'s ``tier`` model at ``precision``.
+
+        Falls back to the tier's fp32 size when no quantized variant was
+        published (mirroring :meth:`model_size_for`); raises ``KeyError``
+        for an unpublished tier.
+        """
+        records = self.tiers.get(label, {}).get(tier)
+        if records is None:
+            raise KeyError(f"model {label} has no tier {tier!r}")
+        record = records.get(precision)
+        return (record or records["fp32"]).size_bytes
 
     def quant_delta_db(self, label: int, precision: str) -> float | None:
         """The calibrated PSNR delta for ``label`` at ``precision``, or

@@ -28,7 +28,8 @@ from ..sr import EDSR, EdsrConfig, SrTrainConfig
 from ..video.codec import (CodecConfig, EncodedFrameInfo, EncodedSegment,
                            EncodedVideo)
 from ..video.segment import Segment
-from .manifest import QuantizationRecord, SegmentRecord, VideoManifest
+from .manifest import (ModelTierRecord, QuantizationRecord, SegmentRecord,
+                       VideoManifest)
 
 __all__ = ["StoredPackage", "TrainingCache", "save_package", "load_package"]
 
@@ -47,6 +48,8 @@ class StoredPackage:
     encoded: EncodedVideo
     models: dict[int, EDSR]
     segments: list[Segment] = field(default_factory=list)
+    #: tier name -> label -> model, for packages built with tier training.
+    tier_models: dict[str, dict[int, EDSR]] = field(default_factory=dict)
 
     @property
     def n_models(self) -> int:
@@ -106,6 +109,38 @@ def save_package(package, root: str | Path) -> Path:
             for label, model in package.models.items()
         },
     }
+    # Tier table + tier checkpoints are additive optional keys: packages
+    # built without tiers keep the exact v1 layout.
+    tier_models = getattr(package, "tier_models", {})
+    if manifest.tiers:
+        meta["tiers"] = {
+            str(label): {
+                tier: {
+                    precision: {"size_bytes": r.size_bytes,
+                                "delta_db": r.delta_db,
+                                "n_resblocks": r.n_resblocks,
+                                "n_filters": r.n_filters,
+                                "gain_db": r.gain_db}
+                    for precision, r in records.items()
+                }
+                for tier, records in by_tier.items()
+            }
+            for label, by_tier in manifest.tiers.items()
+        }
+    if tier_models:
+        meta["tier_model_configs"] = {
+            tier: {
+                str(label): {
+                    "n_resblocks": model.config.n_resblocks,
+                    "n_filters": model.config.n_filters,
+                    "scale": model.config.scale,
+                    "res_scale": model.config.res_scale,
+                    "kernel_size": model.config.kernel_size,
+                }
+                for label, model in models.items()
+            }
+            for tier, models in tier_models.items()
+        }
     with open(root / "manifest.json", "w") as handle:
         json.dump(meta, handle, indent=2)
 
@@ -116,6 +151,10 @@ def save_package(package, root: str | Path) -> Path:
     from .. import nn
     for label, model in package.models.items():
         nn.save_model(model, root / "models" / f"model-{label:02d}.npz")
+    for tier, models in tier_models.items():
+        for label, model in models.items():
+            nn.save_model(model,
+                          root / "models" / f"model-{label:02d}-{tier}.npz")
     return root
 
 
@@ -212,6 +251,17 @@ def load_package(root: str | Path) -> StoredPackage:
             }
             for label, records in meta.get("quantization", {}).items()
         },
+        tiers={
+            int(label): {
+                tier: {
+                    precision: ModelTierRecord(precision=precision, tier=tier,
+                                               **entry)
+                    for precision, entry in records.items()
+                }
+                for tier, records in by_tier.items()
+            }
+            for label, by_tier in meta.get("tiers", {}).items()
+        },
         enhance_in_loop=bool(meta.get("enhance_in_loop", True)),
     )
 
@@ -243,5 +293,16 @@ def load_package(root: str | Path) -> StoredPackage:
         nn.load_model(model, root / "models" / f"model-{label:02d}.npz")
         models[label] = model
 
+    tier_models: dict[str, dict[int, EDSR]] = {}
+    for tier, configs in meta.get("tier_model_configs", {}).items():
+        by_label: dict[int, EDSR] = {}
+        for label_str, cfg in configs.items():
+            label = int(label_str)
+            model = EDSR(EdsrConfig(**cfg))
+            nn.load_model(model,
+                          root / "models" / f"model-{label:02d}-{tier}.npz")
+            by_label[label] = model
+        tier_models[tier] = by_label
+
     return StoredPackage(manifest=manifest, encoded=encoded, models=models,
-                         segments=segments)
+                         segments=segments, tier_models=tier_models)

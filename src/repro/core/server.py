@@ -42,13 +42,16 @@ from ..features import (
 from ..sr import (
     EDSR,
     EdsrConfig,
+    InferenceEngine,
     QUALITY_BIG_CONFIG,
     QUANT_PRECISIONS,
     SrTrainConfig,
     calibrate_quantized,
+    micro_tier_config,
     train_sr,
     training_flops_estimate,
 )
+from ..video.quality import psnr
 from ..video import VideoClip, detect_segments, fixed_length_segments, yuv420_to_rgb
 from ..video.codec import (
     CodecConfig,
@@ -59,7 +62,8 @@ from ..video.codec import (
     Encoder,
 )
 from ..video.segment import Segment
-from .manifest import QuantizationRecord, SegmentRecord, VideoManifest
+from .manifest import (ModelTierRecord, QuantizationRecord, SegmentRecord,
+                       VideoManifest)
 from .parallel import (
     BuildTelemetry,
     ClusterTrainingError,
@@ -110,6 +114,14 @@ class ServerConfig:
     #: I-frames and records it (plus the quantized checkpoint size) in the
     #: manifest.  Empty tuple skips the calibration stage entirely.
     quantize_precisions: tuple[str, ...] = QUANT_PRECISIONS
+    #: Named micro-model *tiers* (:data:`repro.sr.MICRO_TIERS`) to train
+    #: per cluster in addition to ``micro_config``.  For every tier the
+    #: build calibrates the fp32 PSNR uplift over the plain decode and the
+    #: per-precision size/delta, and records a
+    #: :class:`~repro.core.manifest.ModelTierRecord` table in the manifest
+    #: — the input to the joint ABR x SR controller.  Empty tuple (the
+    #: default) skips tier training entirely.
+    model_tiers: tuple[str, ...] = ()
     seed: int = 0
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     train_cache_dir: str | None = None
@@ -128,6 +140,9 @@ class DcsrPackage:
     segments: list[Segment]
     decoded_low: DecodedVideo         # the client-visible LQ reference
     telemetry: BuildTelemetry | None = None
+    #: tier name -> label -> model, for packages built with
+    #: :attr:`ServerConfig.model_tiers` (empty otherwise).
+    tier_models: dict[str, dict[int, EDSR]] = field(default_factory=dict)
 
     @property
     def n_models(self) -> int:
@@ -275,22 +290,34 @@ def _extract_features_parallel(
 def _train_models(
     config: ServerConfig, labels: np.ndarray,
     lq_i: np.ndarray, hr_i: np.ndarray, telemetry: BuildTelemetry,
+    model_config: EdsrConfig | None = None, seed_base: int | None = None,
+    tier: str | None = None,
 ) -> dict[int, EDSR]:
-    """Stage 5: one micro model per cluster, cache-aware and pool-aware."""
+    """Stage 5: one micro model per cluster, cache-aware and pool-aware.
+
+    ``model_config`` / ``seed_base`` override the architecture and the
+    seed origin (tier training passes the tier's preset and a
+    tier-specific seed base so tier weights never alias the base micro
+    models); ``tier`` tags the per-cluster spans.
+    """
+    model_config = model_config if model_config is not None \
+        else config.micro_config
+    seed_base = seed_base if seed_base is not None else config.seed
     cache = (TrainingCache(config.train_cache_dir)
              if config.train_cache_dir is not None else None)
     obs = telemetry.obs
+    span_extra = {} if tier is None else {"tier": tier}
     models: dict[int, EDSR] = {}
     pending = []  # (label, seed, lq_member, hr_member, cache_key)
     for label in sorted(set(int(l) for l in labels)):
         member = labels == label
         lq_m, hr_m = lq_i[member], hr_i[member]
-        seed = config.seed + label
+        seed = seed_base + label
         key = None
         if cache is not None:
-            key = cache.key(lq_m, hr_m, config.micro_config, config.sr_train,
+            key = cache.key(lq_m, hr_m, model_config, config.sr_train,
                             seed)
-            cached = cache.get(key, config.micro_config)
+            cached = cache.get(key, model_config)
             if cached is not None:
                 models[label] = cached
                 telemetry.cache_hits += 1
@@ -307,19 +334,22 @@ def _train_models(
     executor = make_executor(config.parallel)
     if executor is None:
         for label, seed, lq_m, hr_m, key in pending:
-            model = EDSR(config.micro_config, seed=seed)
+            model = EDSR(model_config, seed=seed)
             # Unstaged child of the open "train" stage span, so the train
             # stage keeps its full duration while each cluster stays
             # attributable in the tree.
-            with obs.tracer.span("train_cluster", cluster=label) as sp:
+            with obs.tracer.span("train_cluster", cluster=label,
+                                 **span_extra) as sp:
                 train_sr(model, lq_m, hr_m, config.sr_train, obs=obs)
-            telemetry.train_seconds_per_cluster[label] = sp.elapsed
+            if tier is None:
+                telemetry.train_seconds_per_cluster[label] = sp.elapsed
             models[label] = model
             if cache is not None:
                 cache.put(key, model)
     else:
         from .. import nn
-        tasks = [(label, config.micro_config, seed, lq_m, hr_m,
+        seeds = {label: seed for label, seed, _l, _h, _key in pending}
+        tasks = [(label, model_config, seed, lq_m, hr_m,
                   config.sr_train)
                  for label, seed, lq_m, hr_m, _key in pending]
         with executor:
@@ -329,18 +359,18 @@ def _train_models(
                 wrap=lambda label, exc: ClusterTrainingError(label, str(exc)))
         keys = {label: key for label, _s, _l, _h, key in pending}
         for label, blob, seconds in results:
-            model = EDSR(config.micro_config,
-                         seed=config.seed + int(label))
+            model = EDSR(model_config, seed=seeds[int(label)])
             nn.deserialize_from_bytes(model, blob)
-            telemetry.train_seconds_per_cluster[int(label)] = seconds
+            if tier is None:
+                telemetry.train_seconds_per_cluster[int(label)] = seconds
             obs.tracer.record("train_cluster", seconds, cluster=int(label),
-                              worker="process")
+                              worker="process", **span_extra)
             models[int(label)] = model
             if cache is not None:
                 cache.put(keys[int(label)], model)
 
-    telemetry.train_flops = (
-        training_flops_estimate(EDSR(config.micro_config), config.sr_train)
+    telemetry.train_flops += (
+        training_flops_estimate(EDSR(model_config), config.sr_train)
         * len(pending))
     return models
 
@@ -422,6 +452,25 @@ def _build_package(clip: VideoClip, config: ServerConfig,
             quantization = _calibrate_models(config, labels, models,
                                              lq_i, hr_i, telemetry)
 
+    # Tier training + calibration: one extra model per (tier, cluster),
+    # with the fp32 uplift over the plain decode and the per-precision
+    # size/delta recorded for the joint controller.  Tier configs resolve
+    # eagerly so a bad tier name fails before any training happens.
+    tier_models: dict[str, dict[int, EDSR]] = {}
+    tiers: dict[int, dict[str, dict[str, ModelTierRecord]]] = {}
+    if config.model_tiers:
+        tier_configs = {t: micro_tier_config(t) for t in config.model_tiers}
+        with stage_timer(telemetry, "tiers"):
+            for offset, (tier, tier_config) in enumerate(tier_configs.items()):
+                # Tier seed bases are spaced far beyond any plausible label
+                # count so tier weights never alias the base micro models.
+                tier_models[tier] = _train_models(
+                    config, labels, lq_i, hr_i, telemetry,
+                    model_config=tier_config,
+                    seed_base=config.seed + 1000 * (offset + 1), tier=tier)
+            tiers = _calibrate_tiers(config, labels, tier_models,
+                                     tier_configs, lq_i, hr_i, telemetry)
+
     manifest = VideoManifest(
         video_name=clip.name, width=clip.width, height=clip.height,
         fps=clip.fps, crf=config.codec.crf,
@@ -434,11 +483,12 @@ def _build_package(clip: VideoClip, config: ServerConfig,
         model_sizes={label: model.size_bytes()
                      for label, model in models.items()},
         quantization=quantization,
+        tiers=tiers,
     )
     package = DcsrPackage(manifest=manifest, encoded=encoded, models=models,
                           features=features, selection=selection, vae=vae,
                           segments=segments, decoded_low=decoded,
-                          telemetry=telemetry)
+                          telemetry=telemetry, tier_models=tier_models)
     if config.validate_in_loop:
         with stage_timer(telemetry, "validate"):
             package.manifest.enhance_in_loop = _validate_in_loop(package, clip)
@@ -471,6 +521,62 @@ def _calibrate_models(
                 buckets=(0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 1.0),
             ).observe(max(0.0, r.delta_db))
     return quantization
+
+
+#: PSNR clamp matching ``repro.sr.quantize`` so a perfect reconstruction
+#: still yields a finite, JSON-serializable gain.
+_TIER_PSNR_CLAMP_DB = 99.0
+
+#: Calibration frame cap matching ``calibrate_quantized``'s default.
+_TIER_CALIB_FRAMES = 4
+
+
+def _calibrate_tiers(
+    config: ServerConfig, labels: np.ndarray,
+    tier_models: dict[str, dict[int, EDSR]],
+    tier_configs: dict[str, EdsrConfig],
+    lq_i: np.ndarray, hr_i: np.ndarray, telemetry: BuildTelemetry,
+) -> dict[int, dict[str, dict[str, ModelTierRecord]]]:
+    """Per-(tier, cluster) calibration on the cluster's own I-frames.
+
+    ``gain_db`` is the fp32 tier model's PSNR uplift over the plain decode;
+    the per-precision ``size_bytes``/``delta_db`` come from the same
+    :func:`~repro.sr.quantize.calibrate_quantized` pass the base models use.
+    """
+    obs = telemetry.obs
+    tiers: dict[int, dict[str, dict[str, ModelTierRecord]]] = {}
+    for tier, models in sorted(tier_models.items()):
+        tier_config = tier_configs[tier]
+        for label, model in sorted(models.items()):
+            member = labels == label
+            lq_m = lq_i[member][:_TIER_CALIB_FRAMES]
+            hr_m = hr_i[member][:_TIER_CALIB_FRAMES]
+            with obs.tracer.span("calibrate_tier", cluster=label, tier=tier):
+                base_db = min(psnr(lq_m, hr_m), _TIER_PSNR_CLAMP_DB)
+                out = InferenceEngine(model).enhance_batch(lq_m)
+                gain_db = min(psnr(out, hr_m), _TIER_PSNR_CLAMP_DB) - base_db
+                quant = (calibrate_quantized(
+                             model, lq_i[member], hr_i[member],
+                             precisions=config.quantize_precisions)
+                         if config.quantize_precisions else {})
+            records = {"fp32": ModelTierRecord(
+                precision="fp32", size_bytes=model.size_bytes(),
+                delta_db=0.0, tier=tier,
+                n_resblocks=tier_config.n_resblocks,
+                n_filters=tier_config.n_filters, gain_db=gain_db)}
+            for precision, r in quant.items():
+                records[precision] = ModelTierRecord(
+                    precision=precision, size_bytes=r.size_bytes,
+                    delta_db=r.delta_db, tier=tier,
+                    n_resblocks=tier_config.n_resblocks,
+                    n_filters=tier_config.n_filters, gain_db=gain_db)
+            tiers.setdefault(label, {})[tier] = records
+            obs.metrics.histogram(
+                "dcsr_tier_gain_db",
+                "Calibrated fp32 PSNR uplift of tier models (dB)",
+                buckets=(0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0),
+            ).observe(max(0.0, gain_db))
+    return tiers
 
 
 def _validate_in_loop(package: DcsrPackage, clip: VideoClip) -> bool:

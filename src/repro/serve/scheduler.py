@@ -51,6 +51,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..control import (
+    CONTROLLER_NAMES,
+    ControlContext,
+    JointController,
+    build_controller,
+    segment_energy,
+    tier_options,
+)
 from ..core.client import (
     DcsrClient,
     FastPathConfig,
@@ -62,6 +70,7 @@ from ..core.client import (
 from ..core.network import DownloadError, RetryPolicy, download_with_retry
 from ..core.server import DcsrPackage
 from ..core.streaming import session_goodput_bps, stall_ratio
+from ..devices import DEVICES, get_device
 from ..obs import Observability
 from .batching import BatchingInferenceEngine
 from .events import EventLoop, Until
@@ -145,6 +154,25 @@ class FleetConfig:
         modeled demand per segment (``SegmentPlayback.sr_flops``) and
         the fleet aggregates it — so ``cli serve`` capacity numbers
         reflect what reuse/gating save across thousands of sessions.
+    devices:
+        Per-session device classes (keys of
+        :data:`repro.devices.DEVICES`): session ``i`` plays on
+        ``devices[i % len(devices)]``.  A fleet with devices models each
+        session's rail energy with that device's power curve — in both
+        modes — and feeds it to the session's joint controller when one
+        is configured.  Empty (the default) disables energy modeling.
+    controller:
+        Per-session joint (rung, tier, SR-mode) controller, one of
+        :data:`repro.control.CONTROLLER_NAMES`.  ``"off"`` (default)
+        keeps the pre-controller session paths bit-for-bit.  Anything
+        else requires ``devices``; each session gets a private
+        controller instance (budget state is per viewer, never shared).
+    power_budget_w:
+        Session-average power budget handed to each controller (watts);
+        ``None`` = unconstrained.
+    controller_tier / controller_precision:
+        The pinned SR configuration of ``controller="fixed"`` (ignored
+        by ``"greedy"``).
     seed:
         Fleet seed: drives the arrival schedule and derives each
         session's private failure-RNG stream.
@@ -169,7 +197,18 @@ class FleetConfig:
     fallback: bool = False
     fast_path: FastPathConfig | None = None
     sr_demand_factor: float = 1.0
+    devices: tuple[str, ...] = ()
+    controller: str = "off"
+    power_budget_w: float | None = None
+    controller_tier: str | None = None
+    controller_precision: str = "fp32"
     seed: int = 0
+
+    def device_name_for(self, session_id: int) -> str | None:
+        """The device class session ``session_id`` plays on (or ``None``)."""
+        if not self.devices:
+            return None
+        return self.devices[session_id % len(self.devices)]
 
     def __post_init__(self):
         if self.fast_path is not None \
@@ -196,6 +235,19 @@ class FleetConfig:
             raise ValueError("max_sessions must be >= 1 (or None)")
         if self.rate_limit_bps is not None and self.rate_limit_bps <= 0:
             raise ValueError("rate_limit_bps must be > 0 (or None)")
+        for name in self.devices:
+            if name.lower() not in DEVICES:
+                raise ValueError(f"unknown device {name!r}; "
+                                 f"choose from {sorted(DEVICES)}")
+        if self.controller not in CONTROLLER_NAMES + ("none",):
+            raise ValueError(
+                f"controller must be one of {CONTROLLER_NAMES}, "
+                f"got {self.controller!r}")
+        if self.controller not in ("off", "none") and not self.devices:
+            raise ValueError("a joint controller needs --device classes "
+                             "(energy has no meaning without a power model)")
+        if self.power_budget_w is not None and self.power_budget_w <= 0:
+            raise ValueError("power_budget_w must be > 0 (or None)")
         arrival_times(self)     # validates the arrival spec eagerly
 
 
@@ -286,6 +338,10 @@ class FleetTelemetry:
     #: reuse reduce it directly) or modeled nominal demand scaled by
     #: :attr:`FleetConfig.sr_demand_factor` (trace mode).
     total_sr_flops: float = 0.0
+    #: Simulated rail energy summed across sessions (device classes
+    #: configured), and mean session quality per joule when measurable.
+    total_energy_joules: float = 0.0
+    mean_quality_per_joule: float = 0.0
     #: Discrete events the loop processed, and the sim instant it ended.
     events_processed: int = 0
     sim_duration_s: float = 0.0
@@ -318,6 +374,11 @@ class FleetTelemetry:
             rows.append(["sr demand",
                          f"{self.total_sr_flops / 1e9:.2f} GFLOP "
                          f"across sessions"])
+        if self.total_energy_joules:
+            line = f"{self.total_energy_joules:.1f} J across sessions"
+            if self.mean_quality_per_joule:
+                line += f", {self.mean_quality_per_joule:.3f} dB/J mean"
+            rows.append(["energy", line])
         if self.cache_admission_denied:
             rows.append(["admission(edge)",
                          f"{self.cache_admission_denied} models not stored"])
@@ -396,6 +457,21 @@ class FleetSimulator:
                              encoded_segment.n_frames,
                              codec.n_b_frames, codec.extra_i_interval)
         return sum(1 for plan in plans if plan.ftype == "I")
+
+    def _controller_for(self, session_id: int) -> JointController | None:
+        """A fresh private controller for one session (or ``None``).
+
+        Budget state (joules spent, seconds played) is per viewer, so
+        controllers are never shared between sessions.
+        """
+        device_name = self.config.device_name_for(session_id)
+        if device_name is None or self.config.controller in ("off", "none"):
+            return None
+        return build_controller(
+            self.config.controller, get_device(device_name),
+            power_budget_w=self.config.power_budget_w,
+            tier=self.config.controller_tier,
+            precision=self.config.controller_precision)
 
     def _flops_per_pixel(self, label: int) -> float:
         """Nominal forward FLOPs/input-pixel of one model label (trace
@@ -504,6 +580,7 @@ class FleetSimulator:
                      reference) -> PlaybackResult:
         network = self.pool.session(shell.session_id,
                                     arrival_s=shell.start_s)
+        controller = self._controller_for(shell.session_id)
         client = DcsrClient(
             self.package,
             network=network,
@@ -515,8 +592,29 @@ class FleetSimulator:
             engine_provider=(self.batcher.engine_for
                              if self.batcher is not None else None),
             span_attrs={"session": shell.session_id},
+            controller=controller,
         )
-        return client.play(reference)
+        result = client.play(reference)
+        device_name = self.config.device_name_for(shell.session_id)
+        if controller is None and device_name is not None:
+            # Device class without a controller: the client modeled no
+            # energy itself, so cost the realized playback (one nominal
+            # forward per executed inference) on the session's device.
+            self._model_session_energy(result.telemetry, device_name)
+        return result
+
+    def _model_session_energy(self, telemetry: PlaybackTelemetry,
+                              device_name: str) -> None:
+        device = get_device(device_name)
+        encoded = self.package.encoded
+        pixels = encoded.width * encoded.height
+        manifest = self.package.manifest
+        for seg_t in telemetry.segments:
+            label = manifest.model_label_for(seg_t.index)
+            telemetry.energy_joules += segment_energy(
+                device, seg_t.n_frames / encoded.fps,
+                self._flops_per_pixel(label) * pixels,
+                seg_t.sr_inferences).energy_j
 
     # --------------------------------------------------------- trace sessions
 
@@ -553,6 +651,10 @@ class FleetSimulator:
         telemetry = PlaybackTelemetry(native_fps=fps, obs=self.obs)
         result = PlaybackResult(telemetry=telemetry)
         playout = PlayoutClock(fps)
+        controller = self._controller_for(shell.session_id)
+        device_name = config.device_name_for(shell.session_id)
+        device = get_device(device_name) if device_name is not None else None
+        tier_downloaded: set[tuple[int, str, str]] = set()
 
         for segment, encoded_segment in zip(package.segments,
                                             package.encoded.segments):
@@ -565,22 +667,65 @@ class FleetSimulator:
                                     n_frames=segment.n_frames)
             telemetry.segments.append(seg_t)
             label = manifest.model_label_for(segment.index)
-            pending.update(seconds=0.0, attempts=0, bytes=0)
+            n_i = self._i_frames_in(encoded_segment)
+            decision = None
             acquired = False
-            try:
-                cache.acquire(label)
-                acquired = True
-            except (KeyError, DownloadError) as exc:
-                if isinstance(exc, DownloadError):
-                    pending["seconds"] += exc.seconds
-                    pending["attempts"] += exc.attempts
-                if not config.fallback:
-                    raise
-                seg_t.status = "fallback"
-                result.fallback_segments.append(segment.index)
-            seg_t.download_s += pending["seconds"]
-            seg_t.download_attempts += pending["attempts"]
-            result.model_bytes += pending["bytes"]
+            if controller is not None:
+                # Joint path mirrors the client: the controller owns the
+                # SR decision, tier checkpoints are charged once per
+                # (label, tier, precision) outside the edge cache, and
+                # the base label model is never fetched.
+                decision = controller.decide(ControlContext(
+                    segment=segment.index,
+                    segment_seconds=segment.n_frames / fps,
+                    throughput_bps=(float(config.bandwidth_bps)
+                                    if config.bandwidth_bps
+                                    else float("inf")),
+                    buffer_s=float("inf"),
+                    rung_bits=(encoded_segment.n_bytes * 8.0,),
+                    rung_quality_db=(0.0,),
+                    sr_options=tier_options(manifest, label, cached=frozenset(
+                        (t, p) for (lab, t, p) in tier_downloaded
+                        if lab == label)),
+                    n_inferences=n_i,
+                ))
+                key = (label, decision.tier, decision.precision)
+                if decision.sr_enabled and key not in tier_downloaded:
+                    size = manifest.tier_size_for(
+                        label, decision.tier, decision.precision)
+                    try:
+                        seconds, attempts = download_with_retry(
+                            network, retry, "model",
+                            f"{label}:{decision.tier}:{decision.precision}",
+                            size)
+                        seg_t.download_s += seconds
+                        seg_t.download_attempts += attempts
+                        result.model_bytes += size
+                        tier_downloaded.add(key)
+                    except DownloadError as exc:
+                        seg_t.download_s += exc.seconds
+                        seg_t.download_attempts += exc.attempts
+                        if not config.fallback:
+                            raise
+                        seg_t.status = "fallback"
+                        result.fallback_segments.append(segment.index)
+                        decision = None     # SR cannot run this segment
+            else:
+                pending.update(seconds=0.0, attempts=0, bytes=0)
+                try:
+                    cache.acquire(label)
+                    acquired = True
+                except (KeyError, DownloadError) as exc:
+                    if isinstance(exc, DownloadError):
+                        pending["seconds"] += exc.seconds
+                        pending["attempts"] += exc.attempts
+                    if not config.fallback:
+                        raise
+                    seg_t.status = "fallback"
+                    result.fallback_segments.append(segment.index)
+                seg_t.download_s += pending["seconds"]
+                seg_t.download_attempts += pending["attempts"]
+                result.model_bytes += pending["bytes"]
 
             try:
                 try:
@@ -607,12 +752,30 @@ class FleetSimulator:
                 # I-frames only), scaled by sr_demand_factor — the fleet
                 # knob for fast-path savings (skip gate + temporal reuse)
                 # measured in playback mode or via calibrate_reuse.
-                n_i = self._i_frames_in(encoded_segment)
-                fpp = self._flops_per_pixel(label)
-                seg_t.sr_inferences = n_i
-                seg_t.sr_flops = (fpp * package.encoded.width
-                                  * package.encoded.height * n_i
-                                  * config.sr_demand_factor)
+                # Under a controller the tier's own FLOPs replace the
+                # base model's, and an SR-off decision demands nothing.
+                if controller is not None:
+                    if decision is not None and decision.sr_enabled:
+                        seg_t.sr_inferences = n_i
+                        seg_t.sr_flops = (
+                            decision.option.flops_per_inference * n_i
+                            * config.sr_demand_factor)
+                else:
+                    fpp = self._flops_per_pixel(label)
+                    seg_t.sr_inferences = n_i
+                    seg_t.sr_flops = (fpp * package.encoded.width
+                                      * package.encoded.height * n_i
+                                      * config.sr_demand_factor)
+
+            if device is not None:
+                seconds = segment.n_frames / fps
+                fpi = (seg_t.sr_flops / seg_t.sr_inferences
+                       if seg_t.sr_inferences else 0.0)
+                energy = segment_energy(device, seconds, fpi,
+                                        seg_t.sr_inferences)
+                telemetry.energy_joules += energy.energy_j
+                if controller is not None:
+                    controller.feedback(energy.energy_j, seconds)
 
             playout.segment_ready(seg_t.download_s, segment.n_frames)
 
@@ -662,7 +825,7 @@ class FleetSimulator:
             t.n_batches = self.batcher.stats.n_batches
             t.mean_batch_size = self.batcher.stats.mean_batch_size
 
-        goodputs, stall_ratios, stalls = [], [], []
+        goodputs, stall_ratios, stalls, dbs_per_joule = [], [], [], []
         download_s = 0.0
         for shell in completed:
             result = shell.result
@@ -670,10 +833,16 @@ class FleetSimulator:
             t.total_video_bytes += result.video_bytes
             t.total_sr_flops += sum(s.sr_flops
                                     for s in result.telemetry.segments)
+            t.total_energy_joules += result.telemetry.energy_joules
+            if result.telemetry.energy_joules > 0 and result.psnr_per_frame:
+                dbs_per_joule.append(float(np.mean(result.psnr_per_frame))
+                                     / result.telemetry.energy_joules)
             goodputs.append(session_goodput_bps(result))
             stall_ratios.append(stall_ratio(result.telemetry))
             stalls.append(result.telemetry.stall_seconds)
             download_s += result.telemetry.stage_seconds.get("download", 0.0)
+        if dbs_per_joule:
+            t.mean_quality_per_joule = float(np.mean(dbs_per_joule))
         if goodputs:
             t.mean_session_goodput_bps = float(np.mean(goodputs))
             t.mean_stall_ratio = float(np.mean(stall_ratios))
@@ -704,6 +873,10 @@ class FleetSimulator:
             metrics.counter("dcsr_fleet_sr_flops_total",
                             "SR FLOPs demanded across fleet sessions"
                             ).inc(t.total_sr_flops)
+        if t.total_energy_joules:
+            metrics.counter("dcsr_fleet_energy_joules_total",
+                            "Simulated rail energy across fleet sessions"
+                            ).inc(t.total_energy_joules)
         for seconds in stalls:
             metrics.histogram("dcsr_fleet_stall_seconds",
                               "Per-session simulated stall seconds"

@@ -4,14 +4,17 @@ minimum-working-model search."""
 from .bicubic import BicubicSR
 from .configs import (
     DCSR_CONFIGS,
+    MICRO_TIERS,
     QUALITY_BIG_CONFIG,
     QUALITY_MICRO_GRID,
     RESOLUTIONS,
     TABLE1_FILTERS,
     TABLE1_RESBLOCKS,
+    TIER_NAMES,
     Resolution,
     big_model_config,
     dcsr_config,
+    micro_tier_config,
 )
 from .edsr import EDSR, EdsrConfig
 from .engine import (ENGINE_KERNELS, EngineStats, InferenceEngine,
@@ -51,6 +54,9 @@ __all__ = [
     "receptive_field_radius",
     "BicubicSR",
     "DCSR_CONFIGS",
+    "MICRO_TIERS",
+    "TIER_NAMES",
+    "micro_tier_config",
     "dcsr_config",
     "big_model_config",
     "Resolution",

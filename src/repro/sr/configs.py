@@ -26,6 +26,9 @@ __all__ = [
     "RESOLUTIONS",
     "QUALITY_BIG_CONFIG",
     "QUALITY_MICRO_GRID",
+    "MICRO_TIERS",
+    "TIER_NAMES",
+    "micro_tier_config",
 ]
 
 #: dcSR-1/2/3 (Section 4): ResBlock counts 4/12/16 with 16 filters.
@@ -41,6 +44,32 @@ def dcsr_config(level: int, scale: int = 1) -> EdsrConfig:
     base = DCSR_CONFIGS.get(f"dcSR-{level}")
     if base is None:
         raise ValueError(f"dcSR level must be 1-3, got {level}")
+    return EdsrConfig(n_resblocks=base.n_resblocks, n_filters=base.n_filters,
+                      scale=scale)
+
+
+#: dcSR-1/2/3-style micro-model *tiers* at reproduction scale.  The paper
+#: ships one deployment per complexity level; the joint ABR x SR controller
+#: instead lets a client pick the tier per segment against its power budget,
+#: so the server trains (and the manifest records) every tier per cluster.
+#: Filters/blocks grow monotonically, so size, FLOPs, and — on a trained
+#: corpus — quality uplift order the same way.
+MICRO_TIERS: dict[str, EdsrConfig] = {
+    "dcSR-1": EdsrConfig(n_resblocks=1, n_filters=6),
+    "dcSR-2": EdsrConfig(n_resblocks=2, n_filters=8),
+    "dcSR-3": EdsrConfig(n_resblocks=4, n_filters=12),
+}
+
+#: Tier names in ascending capacity order (the knapsack walk order).
+TIER_NAMES: tuple[str, ...] = tuple(MICRO_TIERS)
+
+
+def micro_tier_config(tier: str, scale: int = 1) -> EdsrConfig:
+    """The :class:`EdsrConfig` of one named micro tier."""
+    base = MICRO_TIERS.get(tier)
+    if base is None:
+        raise ValueError(
+            f"unknown micro tier {tier!r}; choose from {TIER_NAMES}")
     return EdsrConfig(n_resblocks=base.n_resblocks, n_filters=base.n_filters,
                       scale=scale)
 

@@ -1,0 +1,40 @@
+"""One tiny tiered package, shared by the control-plane tests.
+
+Training quality is irrelevant here (controllers treat calibrated gains
+honestly, whatever their sign); what matters is that the package carries
+a real per-tier size/gain table and tier checkpoints, so settings are
+the smallest that exercise the full path.
+"""
+
+import pytest
+
+from repro.core import ServerConfig, build_package
+from repro.features import VaeTrainConfig
+from repro.sr import EdsrConfig, SrTrainConfig
+from repro.video import make_video
+from repro.video.codec import CodecConfig
+
+
+@pytest.fixture(scope="session")
+def control_clip():
+    return make_video("control", "music", seed=7, size=(48, 64),
+                      duration_seconds=5.0, fps=10, n_distinct_scenes=2)
+
+
+@pytest.fixture(scope="session")
+def control_config():
+    return ServerConfig(
+        codec=CodecConfig(crf=48),
+        vae_train=VaeTrainConfig(epochs=4, batch_size=4),
+        sr_train=SrTrainConfig(epochs=3, steps_per_epoch=4, batch_size=8,
+                               patch_size=16, learning_rate=5e-3,
+                               lr_decay_epochs=2),
+        micro_config=EdsrConfig(n_resblocks=2, n_filters=8),
+        seed=0,
+        model_tiers=("dcSR-1", "dcSR-2"),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiered_package(control_clip, control_config):
+    return build_package(control_clip, control_config)

@@ -1,0 +1,148 @@
+"""Determinism contracts of the joint controller.
+
+Two invariants, both load-bearing:
+
+1. **Seeded replay** — the same seed and controller configuration yields
+   a bit-identical decision sequence and energy total, through both call
+   sites (the ABR session simulator and the full client).
+2. **Disabled = absent** — ``controller=None`` plays bit-for-bit like
+   the pre-controller client, and a tiered build leaves the base models
+   (and therefore plain playback) untouched.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.abr import QualityLevel, BitrateLadder, random_walk_trace, \
+    simulate_session
+from repro.control import GreedyKnapsackController, LadderControllerPolicy
+from repro.core import build_package
+from repro.core.client import DcsrClient
+from repro.core.manifest import ModelTierRecord
+from repro.core.network import NetworkConfig, SimulatedNetwork
+from repro.devices import get_device
+
+
+class _FakeManifest:
+    width = 64
+    height = 48
+
+    def __init__(self, labels, tiers):
+        self._labels = list(labels)
+        self.tiers = tiers
+
+    def label_sequence(self):
+        return list(self._labels)
+
+
+def _record(tier, precision, size, gain):
+    return ModelTierRecord(precision=precision, size_bytes=size,
+                           delta_db=0.0, tier=tier, n_resblocks=1,
+                           n_filters=6, gain_db=gain)
+
+
+def _ladder(n_segments=8):
+    levels = []
+    for i, (mbit, quality) in enumerate(
+            [(4.0, 40.0), (2.0, 34.0), (1.0, 28.0)]):
+        levels.append(QualityLevel(
+            level=i, crf=20 + i * 10,
+            segment_bits=[int(mbit * 1e6)] * n_segments,
+            segment_quality=[quality] * n_segments))
+    return BitrateLadder(levels=levels,
+                         segment_seconds=[2.0] * n_segments)
+
+
+def _manifest(n_segments=8):
+    return _FakeManifest(
+        labels=[i % 2 for i in range(n_segments)],
+        tiers={label: {
+            "dcSR-1": {"fp32": _record("dcSR-1", "fp32", 6000, 0.8)},
+            "dcSR-2": {"fp32": _record("dcSR-2", "fp32", 15000, 1.5)},
+        } for label in (0, 1)})
+
+
+def _run_abr():
+    policy = LadderControllerPolicy(
+        GreedyKnapsackController(get_device("laptop"), power_budget_w=30.0),
+        _manifest())
+    result = simulate_session(_ladder(), policy,
+                              random_walk_trace(3e6, 30.0, seed=11))
+    return policy, result
+
+
+class TestSeededReplay:
+    def test_abr_decision_sequence_bit_identical(self):
+        policy_a, result_a = _run_abr()
+        policy_b, result_b = _run_abr()
+        keys_a = [d.key() for d in policy_a.controller.decisions]
+        keys_b = [d.key() for d in policy_b.controller.decisions]
+        assert keys_a == keys_b
+        assert result_a.levels == result_b.levels
+        assert result_a.tiers == result_b.tiers
+        assert result_a.energy_joules == result_b.energy_joules
+        assert result_a.extra_bits == result_b.extra_bits
+
+    def test_policy_reset_replays_identically(self):
+        policy, first = _run_abr()
+        keys_first = [d.key() for d in policy.controller.decisions]
+        policy.reset()
+        second = simulate_session(_ladder(), policy,
+                                  random_walk_trace(3e6, 30.0, seed=11))
+        assert [d.key() for d in policy.controller.decisions] == keys_first
+        assert second.energy_joules == first.energy_joules
+
+    def test_client_decisions_and_energy_bit_identical(self, tiered_package,
+                                                       control_clip):
+        def run():
+            controller = GreedyKnapsackController(get_device("jetson"),
+                                                  power_budget_w=5.0)
+            network = SimulatedNetwork(NetworkConfig(bandwidth_bps=4e6,
+                                                     seed=3))
+            result = DcsrClient(tiered_package, network=network,
+                                controller=controller).play(
+                                    control_clip.frames)
+            return controller, result
+
+        ctrl_a, res_a = run()
+        ctrl_b, res_b = run()
+        assert [d.key() for d in ctrl_a.decisions] \
+            == [d.key() for d in ctrl_b.decisions]
+        assert res_a.telemetry.energy_joules == res_b.telemetry.energy_joules
+        assert len(res_a.frames) == len(res_b.frames)
+        for frame_a, frame_b in zip(res_a.frames, res_b.frames):
+            np.testing.assert_array_equal(frame_a, frame_b)
+
+
+class TestDisabledIsAbsent:
+    def test_controller_none_plays_bitwise_like_default_client(
+            self, tiered_package, control_clip):
+        def network():
+            return SimulatedNetwork(NetworkConfig(bandwidth_bps=4e6, seed=1))
+
+        default = DcsrClient(tiered_package,
+                             network=network()).play(control_clip.frames)
+        disabled = DcsrClient(tiered_package, network=network(),
+                              controller=None).play(control_clip.frames)
+        assert len(default.frames) == len(disabled.frames)
+        for frame_a, frame_b in zip(default.frames, disabled.frames):
+            np.testing.assert_array_equal(frame_a, frame_b)
+        assert default.model_bytes == disabled.model_bytes
+        assert disabled.telemetry.energy_joules == 0.0
+
+    def test_tiered_build_leaves_base_models_untouched(
+            self, control_clip, control_config, tiered_package):
+        untiered = build_package(control_clip,
+                                 replace(control_config, model_tiers=()))
+        assert sorted(untiered.models) == sorted(tiered_package.models)
+        for label, model in untiered.models.items():
+            tiered_model = tiered_package.models[label]
+            for p_a, p_b in zip(model.parameters(),
+                                tiered_model.parameters()):
+                np.testing.assert_array_equal(p_a.data, p_b.data)
+        plain = DcsrClient(untiered).play(control_clip.frames)
+        tiered = DcsrClient(tiered_package,
+                            controller=None).play(control_clip.frames)
+        for frame_a, frame_b in zip(plain.frames, tiered.frames):
+            np.testing.assert_array_equal(frame_a, frame_b)

@@ -1,0 +1,60 @@
+"""Layering guard: the control plane never imports upward.
+
+``repro.control`` is consumed by both the solo client (``repro.core``)
+and the fleet scheduler (``repro.serve``); if it ever imported either —
+or the CLI — the dependency graph would cycle and the controller could
+no longer be reused across call sites.  This test walks the package's
+ASTs and fails on any import of ``repro.serve`` or ``repro.cli``
+(absolute or relative).  ``scripts/check_tests.sh`` runs a grep version
+of the same rule as a fast first line.
+"""
+
+import ast
+from pathlib import Path
+
+import repro.control
+
+CONTROL_DIR = Path(repro.control.__file__).parent
+
+#: Layers the control plane must never reach into.
+BANNED_PREFIXES = ("repro.serve", "repro.cli")
+#: The same layers as relative (``from .. import``) targets.
+BANNED_RELATIVE = ("serve", "cli")
+
+
+def _violations(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith(BANNED_PREFIXES):
+                    out.append(f"{path.name}:{node.lineno}: "
+                               f"import {alias.name}")
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and module.startswith(BANNED_PREFIXES):
+                out.append(f"{path.name}:{node.lineno}: from {module}")
+            elif node.level > 0:
+                head = module.split(".", 1)[0] if module else ""
+                targets = {head} | {alias.name for alias in node.names
+                                    if not module}
+                if targets & set(BANNED_RELATIVE):
+                    out.append(f"{path.name}:{node.lineno}: "
+                               f"from {'.' * node.level}{module} import "
+                               f"{', '.join(a.name for a in node.names)}")
+    return out
+
+
+def test_control_never_imports_serve_or_cli():
+    violations = []
+    for path in sorted(CONTROL_DIR.rglob("*.py")):
+        violations.extend(_violations(path))
+    assert not violations, (
+        "repro.control must not import repro.serve or repro.cli "
+        "(layering: control is below both):\n" + "\n".join(violations))
+
+
+def test_guard_sees_the_package():
+    # The guard is only meaningful if it actually walks source files.
+    assert list(CONTROL_DIR.rglob("*.py"))

@@ -1,0 +1,90 @@
+"""Edge cases of the power-rail model the controller leans on.
+
+``TestPowerModel`` in ``test_devices.py`` covers the happy paths; these
+pin the boundary behaviour the joint controller depends on: zero-length
+sessions fail loudly, utilisation saturates instead of extrapolating,
+and schedules stay monotonic and clamped.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    get_device,
+    playback_power_schedule,
+    simulate_power,
+    sr_power_draw,
+)
+
+
+class TestZeroLengthSession:
+    def test_zero_seconds_raises(self):
+        with pytest.raises(ValueError):
+            simulate_power(get_device("jetson"), 0.0, [], 2.0)
+
+    def test_negative_seconds_raises(self):
+        with pytest.raises(ValueError):
+            simulate_power(get_device("jetson"), -1.0, [], 2.0)
+
+    def test_tiny_session_still_integrates(self):
+        # Shorter than one dt sample: linspace degrades to two points,
+        # not an empty/degenerate trace.
+        timeline = simulate_power(get_device("jetson"), 0.01, [], 2.0)
+        assert len(timeline.times) >= 2
+        assert timeline.energy_joules > 0.0
+
+
+class TestSaturationClamp:
+    def test_draw_clamped_at_max(self):
+        device = get_device("jetson")
+        at_sat = sr_power_draw(device, device.power_saturation_flops, 0.01)
+        beyond = sr_power_draw(device, device.power_saturation_flops * 100,
+                               0.01)
+        assert at_sat == pytest.approx(device.power_sr_max_w)
+        assert beyond == pytest.approx(device.power_sr_max_w)
+
+    def test_draw_monotonic_below_saturation(self):
+        device = get_device("laptop")
+        flops = np.linspace(0.0, device.power_saturation_flops, 8)
+        draws = [sr_power_draw(device, f, 0.01) for f in flops]
+        assert draws == sorted(draws)
+        assert draws[0] == pytest.approx(device.power_sr_min_w)
+
+    def test_zero_or_negative_inference_time_draws_nothing(self):
+        device = get_device("desktop")
+        assert sr_power_draw(device, 1e9, 0.0) == 0.0
+        assert sr_power_draw(device, 1e9, -0.5) == 0.0
+
+
+class TestScheduleShape:
+    def test_interval_starts_strictly_monotonic(self):
+        intervals = playback_power_schedule([2.0, 1.5, 2.0, 0.5], 2, 0.1)
+        starts = [start for start, _ in intervals]
+        assert starts == sorted(starts)
+        assert len(set(starts)) == len(starts)
+        assert starts == [0.0, 2.0, 3.5, 5.5]
+
+    def test_busy_clamped_to_segment_duration(self):
+        # 4 inferences x 0.8 s = 3.2 s of work in a 2 s segment: the busy
+        # window must not bleed into the next segment's interval.
+        intervals = playback_power_schedule([2.0, 2.0], 4, 0.8)
+        assert all(duration <= 2.0 for _, duration in intervals)
+        (s0, d0), (s1, _) = intervals
+        assert s0 + d0 <= s1
+
+    def test_zero_inferences_yields_no_intervals(self):
+        assert playback_power_schedule([2.0, 2.0], 0, 0.1) == []
+
+    def test_empty_session_yields_no_intervals(self):
+        assert playback_power_schedule([], 3, 0.1) == []
+
+    def test_schedule_energy_scales_with_inferences(self):
+        device = get_device("jetson")
+        watts = sr_power_draw(device, 1e8, 0.1)
+
+        def energy(n_inferences):
+            intervals = playback_power_schedule([2.0] * 3, n_inferences, 0.1)
+            return simulate_power(device, 6.0, intervals,
+                                  watts).energy_joules
+
+        assert energy(0) < energy(1) < energy(4)
