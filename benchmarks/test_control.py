@@ -73,17 +73,18 @@ def _traces():
     }
 
 
-def _policies(device_name, manifest):
+def _policies(device_name, manifest, encoded=None):
     device = get_device(device_name)
     budget = POWER_BUDGETS[device_name]
     return {
         "joint": LadderControllerPolicy(
             GreedyKnapsackController(device, power_budget_w=budget),
-            manifest),
+            manifest, encoded=encoded),
         "rung-only": LadderControllerPolicy(
-            FixedController(device), manifest),
+            FixedController(device), manifest, encoded=encoded),
         "sr-always": LadderControllerPolicy(
-            FixedController(device, tier=TIERS[-1]), manifest),
+            FixedController(device, tier=TIERS[-1]), manifest,
+            encoded=encoded),
     }
 
 
@@ -108,8 +109,9 @@ def test_control_frontier(benchmark):
             frontier[device_name] = {}
             for trace_name, trace in _traces().items():
                 cell = {}
-                for policy_name, policy in _policies(device_name,
-                                                     manifest).items():
+                for policy_name, policy in _policies(
+                        device_name, manifest,
+                        encoded=package.encoded).items():
                     cell[policy_name] = simulate_session(ladder, policy,
                                                          trace)
                 frontier[device_name][trace_name] = cell

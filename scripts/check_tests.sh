@@ -9,6 +9,9 @@
 #           pytest selection.
 #   tier 2  slower, benchmark-adjacent tests plus wall-clock timing
 #           guards; run before release or after touching hot paths
+#   net     real-socket tests (loopback asyncio origin, chaos proxy,
+#           dual-transport contract suite); marked `net`, run on
+#           ephemeral ports with a leaked-task guard
 #
 # Static guards (cheap, run first so violations fail in seconds):
 #   - no thread spawning inside src/repro/serve/ — the fleet's
@@ -23,6 +26,10 @@
 #     TileReuseCache must carry an explicit entry budget (an unbounded
 #     cache is a per-session memory leak); the AST-level check is
 #     tests/sr/test_no_unbounded_reuse.py.
+#   - no threading in src/repro/net/ — the real transport's loopback
+#     topology (client + origin on one event loop) and the chaos
+#     proxy's connection↔attempt mapping require a single thread of
+#     control; the AST-level check is tests/net/test_no_threads_net.py.
 #   - no upward imports from src/repro/control/ — the control plane is
 #     consumed by both the client and the fleet scheduler, so importing
 #     repro.serve or repro.cli from it would cycle the layer graph; the
@@ -32,7 +39,7 @@
 # collection error, so a typo'd tier mark cannot silently drop a test
 # out of the gate.
 #
-# Usage: scripts/check_tests.sh [tier1|tier2|all]   (default: all)
+# Usage: scripts/check_tests.sh [tier1|tier2|net|all]   (default: all)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -67,6 +74,14 @@ run_guards() {
         exit 1
     fi
     echo "ok: no unbounded reuse cache in library code"
+    if grep -rnE '^\s*(import threading|from threading import|from concurrent\.futures)' \
+            src/repro/net/ --include='*.py'; then
+        echo "error: threading found in src/repro/net/" >&2
+        echo "       (the net package is asyncio-only;" >&2
+        echo "       see tests/net/test_no_threads_net.py)" >&2
+        exit 1
+    fi
+    echo "ok: no threading in src/repro/net/"
     if grep -rnE 'from \.\.(serve|cli)|from repro\.(serve|cli)|import repro\.(serve|cli)' \
             src/repro/control/ --include='*.py'; then
         echo "error: upward import in src/repro/control/" >&2
@@ -85,7 +100,8 @@ run_tier1() {
     python -m pytest -x -q --strict-markers tests/test_docs.py \
         tests/serve/test_no_threads.py tests/nn/test_no_quant_in_training.py \
         tests/sr/test_no_unbounded_reuse.py \
-        tests/control/test_no_upward_imports.py
+        tests/control/test_no_upward_imports.py \
+        tests/net/test_no_threads_net.py
 }
 
 run_tier2() {
@@ -93,9 +109,15 @@ run_tier2() {
     python -m pytest -q --strict-markers -m "tier2 or timing"
 }
 
+run_net() {
+    echo "== net: real-socket tier (loopback, ephemeral ports) =="
+    python -m pytest -q --strict-markers tests/net
+}
+
 case "$tier" in
     tier1) run_tier1 ;;
     tier2) run_tier2 ;;
-    all)   run_tier1; run_tier2 ;;
-    *) echo "usage: $0 [tier1|tier2|all]" >&2; exit 2 ;;
+    net)   run_net ;;
+    all)   run_tier1; run_tier2; run_net ;;
+    *) echo "usage: $0 [tier1|tier2|net|all]" >&2; exit 2 ;;
 esac

@@ -70,7 +70,19 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("package", help="package directory")
 
     play = sub.add_parser("play", help="stream a stored package")
-    play.add_argument("package", help="package directory")
+    play.add_argument("package", nargs="?", default=None,
+                      help="package directory (omit with --url)")
+    play.add_argument("--url", default=None, metavar="URL",
+                      help="stream from a real dcSR origin (see "
+                           "`serve-origin`) instead of a local package: "
+                           "the package is mirrored over HTTP and every "
+                           "download crosses an actual socket")
+    play.add_argument("--mirror", default=None, metavar="DIR",
+                      help="directory the --url package is mirrored into "
+                           "(default: a fresh temporary directory)")
+    play.add_argument("--timeout", type=float, default=5.0, metavar="S",
+                      help="per-read stall budget for --url downloads "
+                           "(default 5s)")
     play.add_argument("--reference", default=None,
                       help="original video .npz for quality scoring")
     play.add_argument("--fail-rate", type=float, default=0.0,
@@ -233,6 +245,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write the fleet's metrics in Prometheus "
                             "text format")
+    serve.add_argument("--origin", default=None, metavar="URL",
+                       help="playback mode: every session downloads over "
+                            "real sockets from a running `serve-origin` "
+                            "at URL instead of the simulated pool")
+
+    origin = sub.add_parser(
+        "serve-origin",
+        help="serve a stored package over real HTTP (asyncio origin)")
+    origin.add_argument("package", help="package directory to serve")
+    origin.add_argument("--host", default="127.0.0.1",
+                        help="listen address (default 127.0.0.1)")
+    origin.add_argument("--port", type=int, default=0,
+                        help="listen port (default 0 = ephemeral, printed "
+                             "on startup)")
 
     plan = sub.add_parser("plan", help="device feasibility table")
     plan.add_argument("--device", default="jetson",
@@ -377,13 +403,38 @@ def _cmd_play(args) -> int:
         load_package,
     )
 
-    package = load_package(args.package)
+    from .obs import Observability
+
+    if (args.package is None) == (args.url is None):
+        print("play needs exactly one source: a package directory "
+              "or --url", file=sys.stderr)
+        return 2
+    obs = Observability(root_name="play")
     reference = _load_clip(args.reference).frames if args.reference else None
     network = None
-    if args.fail_rate > 0 or args.latency > 0 or args.bandwidth is not None:
-        network = SimulatedNetwork(NetworkConfig(
-            fail_rate=args.fail_rate, latency_s=args.latency,
-            bandwidth_bps=args.bandwidth, seed=args.net_seed))
+    if args.url is not None:
+        if args.fail_rate > 0 or args.latency > 0 \
+                or args.bandwidth is not None:
+            print("--fail-rate/--latency/--bandwidth shape the simulated "
+                  "network; with --url, faults and timing come from the "
+                  "wire (put a chaos proxy in front to inject them)",
+                  file=sys.stderr)
+            return 2
+        import tempfile
+
+        from .net import HttpTransport, mirror_package
+
+        network = HttpTransport(args.url, obs=obs, timeout_s=args.timeout)
+        mirror_dir = args.mirror or tempfile.mkdtemp(prefix="dcsr-mirror-")
+        package = load_package(mirror_package(network, mirror_dir))
+        print(f"mirrored {args.url} -> {mirror_dir}")
+    else:
+        package = load_package(args.package)
+        if args.fail_rate > 0 or args.latency > 0 \
+                or args.bandwidth is not None:
+            network = SimulatedNetwork(NetworkConfig(
+                fail_rate=args.fail_rate, latency_s=args.latency,
+                bandwidth_bps=args.bandwidth, seed=args.net_seed))
     fast = None
     reuse = args.reuse_tol if args.reuse_tol is not None \
         else (True if args.reuse else None)
@@ -399,8 +450,6 @@ def _cmd_play(args) -> int:
                               sr_batch=args.sr_batch or 1,
                               reuse=reuse,
                               kernel=args.sr_kernel or "shift")
-    from .obs import Observability
-
     controller = None
     if args.controller != "off":
         if args.device is None:
@@ -416,9 +465,12 @@ def _cmd_play(args) -> int:
     client = DcsrClient(package, network=network,
                         retry=RetryPolicy(retries=args.retries),
                         fallback=args.fallback, fast_path=fast,
-                        obs=Observability(root_name="play"),
-                        controller=controller)
-    result = client.play(reference)
+                        obs=obs, controller=controller)
+    try:
+        result = client.play(reference)
+    finally:
+        if args.url is not None:
+            network.close()
     if controller is not None:
         tiers = [d.tier or "off" for d in controller.decisions]
         print(f"controller: {args.controller} on {args.device}, "
@@ -473,7 +525,25 @@ def _cmd_serve(args) -> int:
         controller_tier=args.controller_tier,
     )
     obs = Observability(root_name="serve")
-    simulator = FleetSimulator(package, config, obs=obs)
+    network_factory = None
+    if args.origin is not None:
+        if args.mode != "playback":
+            print("--origin drives real downloads and needs "
+                  "--mode playback", file=sys.stderr)
+            return 2
+        if args.fail_rate > 0 or args.latency > 0 \
+                or args.bandwidth is not None or args.rate_limit is not None:
+            print("--fail-rate/--latency/--bandwidth/--rate-limit shape "
+                  "the simulated pool; with --origin, timing comes from "
+                  "the wire", file=sys.stderr)
+            return 2
+        from .net import HttpTransport
+
+        def network_factory(session_id: int, arrival_s: float):
+            return HttpTransport(args.origin, obs=obs,
+                                 session=str(session_id))
+    simulator = FleetSimulator(package, config, obs=obs,
+                               network_factory=network_factory)
     fleet = simulator.run(reference)
     for line in fleet.telemetry.summary_lines():
         print(line)
@@ -490,6 +560,29 @@ def _cmd_serve(args) -> int:
         print(f"  session {sid}: concealed {result.skipped_segments}, "
               f"fallback {result.fallback_segments}")
     _write_obs(args, obs)
+    return 0
+
+
+def _cmd_serve_origin(args) -> int:
+    import asyncio
+
+    from .net import DcsrOrigin, OriginConfig
+    from .obs import Observability
+
+    origin = DcsrOrigin(args.package,
+                        OriginConfig(host=args.host, port=args.port),
+                        obs=Observability(root_name="origin"))
+
+    async def _serve() -> None:
+        await origin.start()
+        print(f"dcSR origin serving {args.package} at {origin.base_url}",
+              flush=True)
+        await origin.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -528,6 +621,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "play": _cmd_play,
     "serve": _cmd_serve,
+    "serve-origin": _cmd_serve_origin,
     "plan": _cmd_plan,
 }
 

@@ -8,7 +8,7 @@ never ``repro.serve`` or ``repro.cli`` (guarded by
 ``tests/control/test_no_upward_imports.py``).
 """
 
-from .bridge import LadderControllerPolicy
+from .bridge import LadderControllerPolicy, iframe_counts
 from .context import (SR_OFF, ControlContext, ControlDecision, SrOption,
                       tier_options)
 from .controller import (CONTROLLER_NAMES, FixedController,
@@ -30,4 +30,5 @@ __all__ = [
     "SegmentEnergy",
     "segment_energy",
     "LadderControllerPolicy",
+    "iframe_counts",
 ]

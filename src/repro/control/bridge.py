@@ -14,7 +14,30 @@ from ..abr.policies import JointChoice, JointPolicy
 from .context import ControlContext, tier_options
 from .controller import JointController
 
-__all__ = ["LadderControllerPolicy"]
+__all__ = ["LadderControllerPolicy", "iframe_counts"]
+
+
+def iframe_counts(encoded) -> list[int]:
+    """Real per-segment SR inference counts of an encoded video.
+
+    dcSR runs one inference per I frame, so each segment's count is its
+    I-frame tally: from the per-frame metadata when present, else
+    re-derived from the GOP plan (packages saved before frame info was
+    persisted load with empty ``frames``) — the same two-source rule the
+    client and the fleet scheduler apply.
+    """
+    counts = []
+    for segment in encoded.segments:
+        if segment.frames:
+            counts.append(sum(1 for fr in segment.frames
+                              if fr.ftype == "I"))
+            continue
+        from ..video.codec.gop import plan_segment
+        codec = encoded.config
+        plans = plan_segment(segment.start, segment.n_frames,
+                             codec.n_b_frames, codec.extra_i_interval)
+        counts.append(sum(1 for plan in plans if plan.ftype == "I"))
+    return counts
 
 
 class LadderControllerPolicy(JointPolicy):
@@ -22,17 +45,24 @@ class LadderControllerPolicy(JointPolicy):
 
     ``manifest`` supplies the per-segment model labels and the published
     tier table (duck-typed, see :func:`~repro.control.tier_options`);
-    ``n_inferences_by_segment`` overrides the per-segment SR inference
-    count (default: one I frame per segment).
+    ``encoded`` (the package's encoded video) supplies real per-segment
+    I-frame counts via :func:`iframe_counts`, so the controller prices SR
+    energy the way the client actually spends it;
+    ``n_inferences_by_segment`` overrides those counts explicitly.
+    Without either, every segment is priced at one inference — the
+    historical default, which undercharges segments with extra I frames.
     """
 
     name = "controller"
 
     def __init__(self, controller: JointController, manifest,
-                 n_inferences_by_segment: list[int] | None = None):
+                 n_inferences_by_segment: list[int] | None = None,
+                 encoded=None):
         self.controller = controller
         self.manifest = manifest
         self.labels = list(manifest.label_sequence())
+        if n_inferences_by_segment is None and encoded is not None:
+            n_inferences_by_segment = iframe_counts(encoded)
         self.n_inferences_by_segment = n_inferences_by_segment
         self._downloaded: set[tuple[int, str, str]] = set()
 

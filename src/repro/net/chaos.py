@@ -1,0 +1,269 @@
+"""Deterministic fault-injection TCP proxy for the real transport.
+
+:class:`ChaosProxy` sits between an :class:`~repro.net.HttpTransport` and
+a :class:`~repro.net.DcsrOrigin` and breaks connections on purpose, so
+the client's retry / concealment / fallback paths — exercised for years
+against :class:`~repro.core.network.SimulatedNetwork`'s injected failures
+— are proven over actual TCP.
+
+Fault selection mirrors the simulated network's schedule semantics, one
+*connection* standing in for one download attempt (the transport opens a
+fresh connection per request precisely to make this mapping exact):
+
+1. an explicit ``schedule`` (one fault name per accepted connection, in
+   accept order) for exact-scenario tests;
+2. a seeded RNG once the schedule is exhausted, drawing faults with the
+   configured rates.
+
+Faults (applied to the upstream *response*, after forwarding the request
+verbatim — the request always reaches the origin, as a mid-transfer CDN
+failure would):
+
+- ``"reset"``     — forward half the body, then hard-reset the client
+  connection (``SO_LINGER 0`` ⇒ TCP RST), surfacing as
+  :class:`~repro.net.OriginUnreachable`;
+- ``"truncate"``  — forward the head and half the body, then close
+  cleanly: the promised ``Content-Length`` never completes, surfacing as
+  :class:`~repro.net.TruncatedBody`;
+- ``"stall"``     — forward half the body, then go silent (connection
+  held open) until the client's read timeout fires, surfacing as
+  :class:`~repro.net.StalledRead`;
+- ``"ok"``        — pass through untouched (plus ``latency_s``, like
+  every other connection).
+
+Same seed ⇒ same per-connection fault assignment ⇒ — because the client
+downloads serially — the same segments concealed and the same models
+fallen back on, end to end over real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..obs import Observability
+
+__all__ = ["FAULTS", "ChaosConfig", "ChaosProxy"]
+
+#: Fault names a schedule entry (or the RNG) may select.
+FAULTS = ("ok", "reset", "truncate", "stall")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault mix and shaping of one proxy.
+
+    Rates are per-connection probabilities once the explicit schedule is
+    exhausted; they must sum to at most 1 (the remainder passes clean).
+    ``latency_s`` is real asyncio sleep before the response head is
+    forwarded — keep it tiny in tests.  ``stall_hold_s`` bounds how long
+    a stalled connection is parked; it must exceed the client's read
+    timeout for the stall to register, and the held task is cut short
+    when the client hangs up.
+    """
+
+    reset_rate: float = 0.0
+    truncate_rate: float = 0.0
+    stall_rate: float = 0.0
+    latency_s: float = 0.0
+    stall_hold_s: float = 30.0
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("reset_rate", "truncate_rate", "stall_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.reset_rate + self.truncate_rate + self.stall_rate > 1.0:
+            raise ValueError("fault rates must sum to <= 1")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+        if self.stall_hold_s <= 0:
+            raise ValueError("stall_hold_s must be positive")
+
+
+class ChaosProxy:
+    """Seeded TCP fault injector in front of one origin.
+
+    Parameters
+    ----------
+    upstream_host / upstream_port:
+        Where the clean origin listens.
+    config:
+        Fault rates, latency, and the RNG seed.
+    schedule:
+        Optional explicit per-connection fault plan (names from
+        :data:`FAULTS`), consumed in accept order before the RNG takes
+        over — the exact analogue of ``SimulatedNetwork``'s
+        ``failure_schedule``.
+    host / port:
+        Listener address; port 0 binds ephemeral.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 config: ChaosConfig | None = None,
+                 schedule: Sequence[str] | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 obs: Observability | None = None):
+        self.upstream_host = upstream_host
+        self.upstream_port = int(upstream_port)
+        self.config = config or ChaosConfig()
+        self._schedule = list(schedule or [])
+        for entry in self._schedule:
+            if entry not in FAULTS:
+                raise ValueError(f"unknown fault {entry!r} in schedule "
+                                 f"(expected one of {FAULTS})")
+        self._rng = random.Random(self.config.seed)
+        self.obs = obs
+        self.host = host
+        self.port = int(port)
+        self._server: asyncio.AbstractServer | None = None
+        #: Connections accepted so far (== schedule position).
+        self.connections = 0
+        #: fault name -> count, for assertions and telemetry.
+        self.faults_injected: dict[str, int] = {name: 0 for name in FAULTS}
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> "ChaosProxy":
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "ChaosProxy":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------- fault schedule
+
+    def _next_fault(self) -> str:
+        """The fault for the next connection: schedule first, then RNG —
+        exactly the simulated network's two-source semantics."""
+        if self.connections < len(self._schedule):
+            return self._schedule[self.connections]
+        cfg = self.config
+        if cfg.reset_rate or cfg.truncate_rate or cfg.stall_rate:
+            draw = self._rng.random()
+            if draw < cfg.reset_rate:
+                return "reset"
+            if draw < cfg.reset_rate + cfg.truncate_rate:
+                return "truncate"
+            if draw < cfg.reset_rate + cfg.truncate_rate + cfg.stall_rate:
+                return "stall"
+        return "ok"
+
+    def _note(self, fault: str) -> None:
+        self.faults_injected[fault] += 1
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "dcsr_chaos_connections_total",
+                "Proxied connections by injected fault",
+            ).inc(fault=fault)
+
+    # ------------------------------------------------------------- handling
+
+    @staticmethod
+    def _force_reset(writer: asyncio.StreamWriter) -> None:
+        """Make close() send an RST instead of a FIN (SO_LINGER 0), so
+        the client observes ``ConnectionResetError``, not a short read."""
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            struct.pack("ii", 1, 0))
+        writer.transport.abort()
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader) -> bytes:
+        """One GET/HEAD request head (these carry no body)."""
+        try:
+            return await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return b""
+
+    @staticmethod
+    async def _read_response(reader: asyncio.StreamReader):
+        """The upstream response, split into (head, body) so faults can
+        cut inside the body.  The transport forces ``Connection: close``,
+        so body-until-EOF is exact."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            return bytes(exc.partial), b""
+        body = b""
+        while True:
+            chunk = await reader.read(65536)
+            if not chunk:
+                return head, body
+            body += chunk
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        fault = self._next_fault()
+        self.connections += 1
+        self._note(fault)
+        upstream_writer = None
+        try:
+            request = await self._read_request(reader)
+            if not request:
+                return
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port)
+            upstream_writer.write(request)
+            await upstream_writer.drain()
+            head, body = await self._read_response(upstream_reader)
+
+            if self.config.latency_s:
+                await asyncio.sleep(self.config.latency_s)
+
+            if fault == "ok":
+                writer.write(head + body)
+                await writer.drain()
+                return
+            partial = body[:len(body) // 2]
+            if fault == "truncate":
+                writer.write(head + partial)
+                await writer.drain()
+                return                        # clean FIN, short body
+            if fault == "reset":
+                writer.write(head + partial)
+                await writer.drain()
+                self._force_reset(writer)
+                return
+            # stall: deliver a prefix, then go silent until the client
+            # gives up (its read timeout) or the hold budget expires.
+            writer.write(head + partial)
+            await writer.drain()
+            try:
+                await asyncio.wait_for(reader.read(1),
+                                       self.config.stall_hold_s)
+            except asyncio.TimeoutError:
+                pass
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass                              # either side went away
+        finally:
+            for w in (upstream_writer, writer):
+                if w is None:
+                    continue
+                try:
+                    w.close()
+                    await w.wait_closed()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass

@@ -423,10 +423,21 @@ class FleetSimulator:
     """
 
     def __init__(self, package: DcsrPackage, config: FleetConfig,
-                 obs: Observability | None = None):
+                 obs: Observability | None = None,
+                 network_factory=None):
+        if network_factory is not None and config.mode != "playback":
+            raise ValueError(
+                "network_factory is a playback-mode seam (trace mode "
+                "replays bytes through the shared pool, not a transport)")
         self.package = package
         self.config = config
         self.obs = obs or Observability(root_name="fleet")
+        #: Optional ``(session_id, arrival_s) -> network`` override: when
+        #: set, playback sessions download through the returned transport
+        #: (e.g. :class:`repro.net.HttpTransport` against a real origin)
+        #: instead of a :class:`SharedNetworkPool` session.  The serve
+        #: layer never imports ``repro.net`` — callers inject it.
+        self.network_factory = network_factory
         manifest = getattr(package, "manifest", None)
         self.cache: CacheHierarchy = CacheHierarchy(
             edges=config.edges,
@@ -578,8 +589,11 @@ class FleetSimulator:
 
     def _run_session(self, shell: SessionResult,
                      reference) -> PlaybackResult:
-        network = self.pool.session(shell.session_id,
-                                    arrival_s=shell.start_s)
+        if self.network_factory is not None:
+            network = self.network_factory(shell.session_id, shell.start_s)
+        else:
+            network = self.pool.session(shell.session_id,
+                                        arrival_s=shell.start_s)
         controller = self._controller_for(shell.session_id)
         client = DcsrClient(
             self.package,

@@ -1,0 +1,203 @@
+"""One contract, two transports.
+
+Every test in :class:`TestTransportContract` runs twice — once against
+:class:`SimulatedNetwork`, once against a live :class:`HttpTransport`
+talking to a loopback origin (through a chaos proxy when failures are
+scheduled) — with byte-identical assertions.  This is the proof that the
+sim and the real transport are interchangeable: same duck-typed
+``download`` surface, same retry/backoff accounting, same typed errors,
+same telemetry counter names.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DcsrClient,
+    NetworkConfig,
+    RetryPolicy,
+    SimulatedNetwork,
+    load_package,
+)
+from repro.core.network import DownloadError, download_with_retry
+from repro.net import (
+    ChaosProxy,
+    DcsrOrigin,
+    HttpTransport,
+    mirror_package,
+    model_path,
+    segment_path,
+)
+from repro.obs import Observability
+
+pytestmark = pytest.mark.net
+
+#: The complete download counter vocabulary both transports must emit.
+DOWNLOAD_COUNTERS = {
+    "dcsr_download_attempts_total",
+    "dcsr_download_failures_total",
+    "dcsr_download_bytes_total",
+    "dcsr_download_retries_total",
+    "dcsr_backoff_seconds_total",
+}
+
+
+class _SimCase:
+    """The simulated transport: failures from a boolean schedule; the
+    'payload' is the on-disk artifact by definition (no wire)."""
+
+    name = "sim"
+
+    def __init__(self, package_dir: Path):
+        self.package_dir = Path(package_dir)
+
+    def make(self, failures=(), obs=None):
+        return SimulatedNetwork(NetworkConfig(), failure_schedule=failures,
+                                obs=obs)
+
+    def disk(self, kind, key) -> bytes:
+        path = segment_path(key) if kind == "segment" else model_path(key)
+        return (self.package_dir / path).read_bytes()
+
+    def payload(self, network, kind, key) -> bytes:
+        return self.disk(kind, key)
+
+    def close(self):
+        pass
+
+
+class _HttpCase:
+    """The real transport: failures become chaos-proxy connection resets,
+    the payload is whatever the socket delivered."""
+
+    name = "http"
+
+    def __init__(self, loop, package_dir: Path):
+        self.loop = loop
+        self.package_dir = Path(package_dir)
+        self.origin = DcsrOrigin(package_dir)
+        loop.run_until_complete(self.origin.start())
+        self._proxies = []
+
+    def make(self, failures=(), obs=None):
+        schedule = ["reset" if fails else "ok" for fails in failures]
+        proxy = ChaosProxy(self.origin.host, self.origin.port,
+                           schedule=schedule)
+        self.loop.run_until_complete(proxy.start())
+        self._proxies.append(proxy)
+        return HttpTransport(proxy.base_url, obs=obs, loop=self.loop,
+                             timeout_s=2.0)
+
+    def disk(self, kind, key) -> bytes:
+        path = segment_path(key) if kind == "segment" else model_path(key)
+        return (self.package_dir / path).read_bytes()
+
+    def payload(self, network, kind, key) -> bytes:
+        return network.last_payload
+
+    def close(self):
+        for proxy in self._proxies:
+            self.loop.run_until_complete(proxy.stop())
+        self.loop.run_until_complete(self.origin.stop())
+
+
+@pytest.fixture(params=["sim", "http"])
+def case(request, net_loop, package_dir):
+    built = (_SimCase(package_dir) if request.param == "sim"
+             else _HttpCase(net_loop, package_dir))
+    yield built
+    built.close()
+
+
+class TestTransportContract:
+    def test_success_payload_is_ondisk_bytes(self, case):
+        network = case.make()
+        disk = case.disk("segment", 0)
+        seconds = network.download("segment", 0, len(disk))
+        assert seconds >= 0.0
+        assert network.clock.now() == pytest.approx(seconds)
+        assert network.stats.attempts == 1
+        assert network.stats.failures == 0
+        assert network.stats.bytes_delivered == len(disk)
+        assert case.payload(network, "segment", 0) == disk
+
+    def test_model_payload_matches_checkpoint(self, case, package):
+        label = package.manifest.label_sequence()[0]
+        network = case.make()
+        disk = case.disk("model", label)
+        network.download("model", label, len(disk))
+        assert case.payload(network, "model", label) == disk
+
+    def test_retry_counts_under_injected_failure(self, case):
+        obs = Observability(root_name="contract")
+        network = case.make(failures=[True, False], obs=obs)
+        disk = case.disk("segment", 1)
+        seconds, attempts = download_with_retry(
+            network, RetryPolicy(retries=2), "segment", 1, len(disk))
+        assert attempts == 2
+        assert network.stats.attempts == 2
+        assert network.stats.failures == 1
+        assert seconds >= 0.0
+        registry = obs.metrics
+        assert registry.counter("dcsr_download_attempts_total").value(
+            kind="segment") == 2
+        assert registry.counter("dcsr_download_failures_total").value(
+            kind="segment") == 1
+        assert registry.counter("dcsr_download_retries_total").value(
+            kind="segment") == 1
+        assert registry.counter("dcsr_backoff_seconds_total").value(
+            kind="segment") > 0
+        assert case.payload(network, "segment", 1) == disk
+
+    def test_exhausted_budget_raises_typed_error(self, case):
+        network = case.make(failures=[True, True])
+        with pytest.raises(DownloadError) as err:
+            download_with_retry(network, RetryPolicy(retries=1),
+                                "segment", 0, 64)
+        assert err.value.attempts == 2
+        assert err.value.seconds >= 0.0
+        assert network.stats.failures == 2
+
+    def test_failure_is_a_download_error(self, case):
+        network = case.make(failures=[True])
+        with pytest.raises(DownloadError) as err:
+            network.download("segment", 0, 64)
+        assert err.value.seconds >= 0.0
+        assert network.stats.failures == 1
+
+    def test_counter_vocabulary_is_identical(self, case):
+        obs = Observability(root_name="contract")
+        network = case.make(failures=[True, False], obs=obs)
+        download_with_retry(network, RetryPolicy(retries=1), "segment", 0,
+                            len(case.disk("segment", 0)))
+        names = {metric.name for metric in obs.metrics.metrics()}
+        assert names == DOWNLOAD_COUNTERS
+
+
+def test_playback_bitwise_equal_across_transports(net_loop, package_dir,
+                                                  tmp_path):
+    """The acceptance loop: a package mirrored over HTTP and played
+    through the real transport produces frames bitwise-equal to the same
+    package played through the failure-free simulated network."""
+    origin = DcsrOrigin(package_dir)
+    net_loop.run_until_complete(origin.start())
+    transport = HttpTransport(origin.base_url, loop=net_loop)
+    mirrored = load_package(mirror_package(transport, tmp_path / "mirror"))
+    http_result = DcsrClient(mirrored, network=transport,
+                             retry=RetryPolicy(retries=0)).play()
+    net_loop.run_until_complete(origin.stop())
+
+    sim = SimulatedNetwork(NetworkConfig())
+    sim_result = DcsrClient(load_package(package_dir), network=sim,
+                            retry=RetryPolicy(retries=0)).play()
+
+    assert len(http_result.frames) == len(sim_result.frames)
+    assert np.array_equal(np.asarray(http_result.frames),
+                          np.asarray(sim_result.frames))
+    assert http_result.model_downloads == sim_result.model_downloads
+    assert http_result.video_bytes == sim_result.video_bytes
+    assert http_result.skipped_segments == sim_result.skipped_segments == []
+    assert (http_result.fallback_segments
+            == sim_result.fallback_segments == [])
